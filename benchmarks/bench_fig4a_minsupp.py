@@ -1,0 +1,61 @@
+"""E4 — Fig. 4a: runtime vs minSupp for the four algorithms.
+
+Paper setting: the 8-dimensional Pokec search space (Age, Region,
+Education, Looking-For on both sides), absolute minSupp swept over
+[2, 10000], other parameters at their defaults (minNhp 50%, k 100).
+
+Every (algorithm, minSupp) pair is one pytest-benchmark row, so the
+benchmark table *is* the figure's data series.  The expected shape
+(paper): BL1/BL2 explode as minSupp shrinks while GRMiner(k)/GRMiner
+stay comparatively flat thanks to minNhp pruning.
+"""
+
+import pytest
+
+from repro.bench.harness import algorithm_factories
+
+from conftest import FIG4_ATTRIBUTES, FIG4_DEFAULTS
+
+MIN_SUPPORTS = (2, 10, 50, 500, 5000)
+ALGORITHMS = algorithm_factories()
+
+
+@pytest.mark.parametrize("min_support", MIN_SUPPORTS)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig4a(benchmark, pokec_bench, algorithm, min_support):
+    params = dict(FIG4_DEFAULTS, min_support=min_support)
+    factory = ALGORITHMS[algorithm]
+
+    def run():
+        return factory(pokec_bench, node_attributes=FIG4_ATTRIBUTES, **params).mine()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["grs_examined"] = result.stats.grs_examined
+    benchmark.extra_info["grs_found"] = len(result)
+
+
+def test_fig4a_shape(benchmark, pokec_bench, out_dir):
+    """The figure's qualitative claim at the smallest minSupp."""
+    from repro.bench.harness import format_series, run_series
+
+    rows = benchmark.pedantic(
+        lambda: run_series(
+            pokec_bench,
+            "min_support",
+            (2, 50, 5000),
+            dict(FIG4_DEFAULTS, node_attributes=FIG4_ATTRIBUTES),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_series(rows, title="Fig. 4a — time (s) vs minSupp (absolute)")
+    (out_dir / "fig4a.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    smallest = rows[0]
+    assert smallest["GRMiner(k) (s)"] < smallest["BL2 (s)"]
+    assert smallest["GRMiner (s)"] < smallest["BL1 (s)"]
+    # GRMiner's runtime grows far slower than the baselines' as minSupp drops.
+    gr_growth = rows[0]["GRMiner(k) (s)"] / max(rows[-1]["GRMiner(k) (s)"], 1e-9)
+    bl1_growth = rows[0]["BL1 (s)"] / max(rows[-1]["BL1 (s)"], 1e-9)
+    assert bl1_growth > gr_growth

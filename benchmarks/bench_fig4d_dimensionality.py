@@ -1,0 +1,60 @@
+"""E7 — Fig. 4d: runtime vs search-space dimensionality.
+
+Paper setting: include the first l node attributes (l = 2..6), giving
+dimensionality 2l; all other parameters at defaults.  Expected shape:
+all algorithms grow with dimensionality, but GRMiner(k)/GRMiner grow
+much slower than BL1/BL2 — more RHS attributes mean more room for
+minNhp pruning (Theorem 3).
+"""
+
+import pytest
+
+from repro.bench.harness import algorithm_factories
+
+from conftest import DIMENSIONALITY_ORDER, FIG4_DEFAULTS
+
+ELLS = (2, 4, 6)
+ALGORITHMS = algorithm_factories()
+
+
+@pytest.mark.parametrize("num_attrs", ELLS)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_fig4d(benchmark, pokec_bench, algorithm, num_attrs):
+    attrs = DIMENSIONALITY_ORDER[:num_attrs]
+    factory = ALGORITHMS[algorithm]
+
+    def run():
+        return factory(pokec_bench, node_attributes=attrs, **FIG4_DEFAULTS).mine()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dimensionality"] = 2 * num_attrs
+    benchmark.extra_info["grs_examined"] = result.stats.grs_examined
+
+
+def test_fig4d_shape(benchmark, pokec_bench, out_dir):
+    from repro.bench.harness import format_series, run_series
+
+    def sweep():
+        rows = []
+        for num_attrs in ELLS:
+            series = run_series(
+                pokec_bench,
+                "node_attributes",
+                [DIMENSIONALITY_ORDER[:num_attrs]],
+                FIG4_DEFAULTS,
+            )
+            row = series[0]
+            row["node_attributes"] = f"dims={2 * num_attrs}"
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_series(rows, title="Fig. 4d — time (s) vs dimensionality")
+    (out_dir / "fig4d.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    # Both families grow with dimensionality ...
+    assert rows[-1]["BL1 (s)"] > rows[0]["BL1 (s)"]
+    # ... but the baselines grow faster than GRMiner (absolute gap at 12 dims).
+    assert rows[-1]["GRMiner(k) (s)"] < rows[-1]["BL1 (s)"]
+    assert rows[-1]["GRMiner(k) (s)"] < rows[-1]["BL2 (s)"]

@@ -1,0 +1,56 @@
+"""E10 — the Section IV-A storage claim: compact model vs single table.
+
+``compact = |V|(#AttrV+2) + |E|(#AttrE+1) + |V|#AttrV`` must beat
+``single = |E|(2·#AttrV + #AttrE)`` whenever nodes have several
+attributes and average degree exceeds ~1 — and the gap must widen with
+density.  Also times the construction of both representations.
+"""
+
+import pytest
+
+from repro.data.edgetable import EdgeTable
+from repro.data.store import CompactStore
+from repro.datasets import synthetic_pokec
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {
+        "sparse": synthetic_pokec(num_sources=4000, num_edges=12_000, seed=1),
+        "medium": synthetic_pokec(num_sources=4000, num_edges=40_000, seed=1),
+        "dense": synthetic_pokec(num_sources=4000, num_edges=120_000, seed=1),
+    }
+
+
+def test_storage_ratio_grows_with_density(benchmark, networks, out_dir):
+    lines = ["E10 — storage cells: compact model vs single table"]
+    ratios = []
+
+    def measure():
+        for name, network in networks.items():
+            store = CompactStore(network)
+            compact = store.size_cells()
+            single = store.single_table_size_cells()
+            ratios.append(single / compact)
+            lines.append(
+                f"{name:7s} |V|={network.num_nodes:6d} |E|={network.num_edges:6d}  "
+                f"compact={compact:9d}  single={single:9d}  "
+                f"ratio={single / compact:5.2f}x"
+            )
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = "\n".join(lines)
+    (out_dir / "storage.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    assert ratios[-1] > ratios[0]  # density widens the gap
+    assert ratios[-1] > 1.5  # the dense case clearly favours the compact model
+
+
+@pytest.mark.parametrize("representation", ["compact", "single_table"])
+def test_construction_time(benchmark, networks, representation):
+    network = networks["medium"]
+    if representation == "compact":
+        benchmark(lambda: CompactStore(network))
+    else:
+        benchmark(lambda: EdgeTable(network))

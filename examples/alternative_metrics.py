@@ -1,0 +1,50 @@
+"""Section VII extensions: ranking GRs with alternative metrics.
+
+Shows the same DBLP-style network mined under five interestingness
+metrics and how lift corrects the data-skew artifact the paper calls out
+for D1: ``(A:AI) → (P:Poor)`` looks strong under confidence only because
+91% of authors are Poor; its lift is ≈ 1.
+
+Run:  python examples/alternative_metrics.py
+"""
+
+from repro import AlternativeMetricMiner, GR, Descriptor, GRMiner
+from repro.core.interestingness import evaluate_alternatives
+from repro.datasets import synthetic_dblp
+
+
+def main() -> None:
+    network = synthetic_dblp(num_authors=10_000, num_links=12_000)
+    print(f"Network: {network}\n")
+
+    # --- Anti-monotone alternatives mined directly -------------------------
+    for metric, threshold in (("laplace", 0.5), ("gain", 0.0)):
+        result = GRMiner(
+            network, min_support=0.001, min_score=threshold, k=3, rank_by=metric
+        ).mine()
+        print(f"Top-3 by {metric} (threshold pushed into the search):")
+        for m in result:
+            print(f"  {m.gr}  {metric}={m.score:.4f}")
+        print()
+
+    # --- Post-processed metrics -------------------------------------------
+    for metric in ("lift", "conviction", "piatetsky_shapiro"):
+        result = AlternativeMetricMiner(
+            network, metric=metric, min_support=0.001, k=3
+        ).mine()
+        print(f"Top-3 by {metric} (support sweep + post-processing):")
+        for m in result:
+            print(f"  {m.gr}  {metric}={m.score:.4f}")
+        print()
+
+    # --- The D1 skew correction ---------------------------------------------
+    d1 = GR(Descriptor({"Area": "AI"}), Descriptor({"Productivity": "Poor"}))
+    alt = evaluate_alternatives(network, d1)
+    print(f"D1 {d1}")
+    print(f"  conf = {alt.base.confidence:.1%} -- looks like a strong preference")
+    print(f"  supp(r) = {alt.supp_r:.1%} of all edges end at a Poor author")
+    print(f"  lift = {alt.lift:.2f} -- barely above base rate: data skew, not preference")
+
+
+if __name__ == "__main__":
+    main()

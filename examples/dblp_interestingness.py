@@ -1,0 +1,66 @@
+"""Section VI-C on the synthetic DBLP network: Table IIb + explanations.
+
+Mines top-20 GRs by nhp and conf with the paper's parameters
+(minSupp = 0.1%, minNhp = minConf = 50%, k = 20), then runs the two
+data probes the paper uses to interpret the results:
+
+* the Productivity distribution (91% Poor explains D1/D3/D5);
+* the DB --often--> DM preference (D2) against area shares.
+
+Run:  python examples/dblp_interestingness.py
+"""
+
+from repro import ConfidenceMiner, GR, Descriptor, GRMiner
+from repro.analysis import HypothesisExplorer, format_table2
+from repro.datasets import synthetic_dblp
+
+
+def main() -> None:
+    print("Generating synthetic DBLP-style network (paper scale) ...")
+    network = synthetic_dblp()
+    print(f"  {network}\n")
+
+    params = dict(min_support=0.001, min_score=0.5, k=20)
+    nhp_result = GRMiner(network, **params).mine()
+    conf_result = ConfidenceMiner(network, **params).mine()
+    print(format_table2(nhp_result, conf_result, rows=5, title="Table IIb (synthetic)"))
+    print(
+        f"\nDBLP mining runtime: {nhp_result.stats.runtime_seconds:.3f}s "
+        "(the paper reports <= 0.483s in C++)"
+    )
+
+    explorer = HypothesisExplorer(network)
+
+    # --- D1/D3/D5 explanation --------------------------------------------
+    print("\n--- Why 'Poor' destinations dominate (D1, D3, D5) ---")
+    shares = explorer.value_distribution("Productivity")
+    for value, share in shares.items():
+        print(f"  Productivity={value}: {share:.2%} of authors")
+    print("=> most authors are students; co-authorship pairs them with advisors")
+
+    # --- D2: the interdisciplinary DM tie --------------------------------
+    print("\n--- D2: (A:DB) --often--> (A:DM) ---")
+    d2 = GR(
+        Descriptor({"Area": "DB"}),
+        Descriptor({"Area": "DM"}),
+        Descriptor({"Strength": "often"}),
+    )
+    h = explorer.evaluate(d2, "D2")
+    print(h)
+    area_shares = explorer.value_distribution("Area")
+    print(f"  DM population share: {area_shares['DM']:.2%} (the smallest area)")
+    print(
+        "=> the preference is real, not data skew: DM is the least populous "
+        "area yet receives most of DB's strong cross-area collaborations"
+    )
+
+    # --- D16 as a one-step variation of D2 --------------------------------
+    print("\n--- D16 via variation: AI's counterpart ---")
+    d16 = GR(
+        Descriptor({"Area": "AI", "Productivity": "Good"}), Descriptor({"Area": "DM"})
+    )
+    print(explorer.evaluate(d16, "D16"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Section VI-B on the synthetic Pokec network: Table IIa + the
+hypothesis-formulation cycle of Remark 3.
+
+Mines the top GRs by nhp and by conf side by side, then reproduces the
+paper's two worked hypothesis cycles:
+
+* P5  — (L:Sexual Partner) → (G:Female), specialized per gender;
+* P207 — (G:Male, A:25-34) → (A:18-24), the younger-partner asymmetry.
+
+Run:  python examples/pokec_interestingness.py [--edges N]
+"""
+
+import argparse
+
+from repro import ConfidenceMiner, GR, Descriptor, GRMiner
+from repro.analysis import HypothesisExplorer, format_table2
+from repro.datasets import synthetic_pokec
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--edges", type=int, default=60_000)
+    parser.add_argument("--sources", type=int, default=6_000)
+    args = parser.parse_args()
+
+    print("Generating synthetic Pokec-style network ...")
+    network = synthetic_pokec(num_sources=args.sources, num_edges=args.edges)
+    print(f"  {network}\n")
+
+    # --- Table IIa ------------------------------------------------------
+    params = dict(min_support=0.001, k=300)
+    nhp_result = GRMiner(network, min_score=0.5, **params).mine()
+    conf_result = ConfidenceMiner(network, min_score=0.5, **params).mine()
+    print(format_table2(nhp_result, conf_result, rows=5, title="Table IIa (synthetic)"))
+
+    # --- Hypothesis cycle: P5 -------------------------------------------
+    explorer = HypothesisExplorer(network)
+    print("\n--- Remark 3 cycle, seed P5 ---")
+    p5 = GR(Descriptor({"Looking-For": "Sexual Partner"}), Descriptor({"Gender": "Female"}))
+    print(explorer.evaluate(p5, "P5       "))
+    male = explorer.add_condition(p5, "lhs", "Gender", "Male")
+    print(explorer.evaluate(male, "P5 male  "))
+    female = explorer.replace_value(
+        explorer.replace_value(male, "lhs", "Gender", "Female"), "rhs", "Gender", "Male"
+    )
+    print(explorer.evaluate(female, "P5 female"))
+    print("=> the gender asymmetry of Section VI-B")
+
+    # --- Hypothesis cycle: P207 ------------------------------------------
+    print("\n--- Remark 3 cycle, seed P207 ---")
+    p207 = GR(
+        Descriptor({"Gender": "Male", "Age": "25-34"}), Descriptor({"Age": "18-24"})
+    )
+    print(explorer.evaluate(p207, "P207      "))
+    p207f = explorer.replace_value(p207, "lhs", "Gender", "Female")
+    print(explorer.evaluate(p207f, "P207 femal"))
+    print("=> women much less prefer younger partners than men")
+
+    # --- Data-distribution probe (the P2 explanation) --------------------
+    print("\n--- Value distribution probe (why P2 holds) ---")
+    shares = explorer.value_distribution("Education")
+    for value in ("Secondary", "Training", "Basic"):
+        print(f"  Education={value}: {shares[value]:.2%} of profiles")
+    print("=> Secondary dwarfs Training, matching the paper's explanation of P2")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — reproduction of "Mining Social Ties Beyond Homophily" (ICDE 2016).
+
+A library for mining top-k *group relationships* (GRs) from attributed
+social networks, ranked by the paper's *non-homophily preference* (nhp)
+metric: social ties that are strong **beyond** what the homophily
+principle already predicts.
+
+Quickstart
+----------
+>>> from repro import mine_top_k
+>>> from repro.datasets import toy_dating_network
+>>> result = mine_top_k(toy_dating_network(), k=5, min_support=2, min_nhp=0.5)
+>>> for mined in result:
+...     _ = mined.gr, mined.metrics.nhp
+
+Package map
+-----------
+``repro.core``      GRMiner, metrics, baselines, alternative metrics.
+``repro.data``      Schemas, networks, the compact LArray/EArray/RArray
+                    store and the single-table model.
+``repro.datasets``  The paper's toy network plus synthetic Pokec/DBLP
+                    style generators.
+``repro.analysis``  Hypothesis-variation workflow, homophily suggestion,
+                    report formatting.
+``repro.io``        CSV / networkx interop.
+``repro.cube``      The BUC iceberg-cube substrate used by baselines.
+"""
+
+from .core import (
+    GR,
+    AlternativeMetricMiner,
+    BL1Miner,
+    BL2Miner,
+    BruteForceMiner,
+    ConfidenceMiner,
+    Descriptor,
+    GRMetrics,
+    GRMiner,
+    MetricEngine,
+    MinedGR,
+    MiningResult,
+    mine_top_k,
+)
+from .data import Attribute, CompactStore, EdgeTable, Schema, SocialNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlternativeMetricMiner",
+    "Attribute",
+    "BL1Miner",
+    "BL2Miner",
+    "BruteForceMiner",
+    "CompactStore",
+    "ConfidenceMiner",
+    "Descriptor",
+    "EdgeTable",
+    "GR",
+    "GRMetrics",
+    "GRMiner",
+    "MetricEngine",
+    "MinedGR",
+    "MiningResult",
+    "Schema",
+    "SocialNetwork",
+    "mine_top_k",
+    "__version__",
+]

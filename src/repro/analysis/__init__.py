@@ -1,0 +1,30 @@
+"""Analysis workflows: hypothesis cycling, homophily identification, reports."""
+
+from .homophily import (
+    attribute_assortativity,
+    homophily_report,
+    same_value_propensity,
+    suggest_homophily_attributes,
+)
+from .hypothesis import Hypothesis, HypothesisExplorer
+from .summary import (
+    format_result,
+    format_table2,
+    result_rows,
+    result_to_csv,
+    result_to_json,
+)
+
+__all__ = [
+    "Hypothesis",
+    "HypothesisExplorer",
+    "attribute_assortativity",
+    "format_result",
+    "format_table2",
+    "homophily_report",
+    "result_rows",
+    "result_to_csv",
+    "result_to_json",
+    "same_value_propensity",
+    "suggest_homophily_attributes",
+]

@@ -1,0 +1,179 @@
+"""The hypothesis-formulation cycle of Remark 3 (Sections VI-B/VI-C).
+
+"The human analyst starts with top-k GRs found, forms new hypothesis
+through varying the GRs found, and compares such hypothesis as well as
+data distribution. [...] top-k GRs provide an entry point to this cycle."
+
+:class:`HypothesisExplorer` packages that workflow:
+
+* :meth:`~HypothesisExplorer.evaluate` — query supp/conf/nhp of any GR
+  (the "queried their nhp and supp from the data" step);
+* variation constructors (:meth:`replace_value`, :meth:`add_condition`,
+  :meth:`drop_condition`) — the paper's P5 → (G:Male, L:Sexual Partner)
+  and P207 → (G:Female, A:25-34) moves;
+* :meth:`one_step_variations` — systematic single-edit neighbours of a
+  seed GR, ranked by nhp;
+* :meth:`compare` — a side-by-side metric table for a set of hypotheses;
+* :meth:`value_distribution` — the "quick check on the data (by
+  examining the values distribution on the attribute)" used to explain
+  D1 and P2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..core.descriptors import GR, Descriptor
+from ..core.metrics import GRMetrics, MetricEngine
+from ..data.network import SocialNetwork
+
+__all__ = ["HypothesisExplorer", "Hypothesis"]
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """A labelled GR with its measured metrics."""
+
+    label: str
+    gr: GR
+    metrics: GRMetrics
+
+    def __str__(self) -> str:
+        m = self.metrics
+        return (
+            f"{self.label}: {self.gr}  "
+            f"nhp={m.nhp:.1%} conf={m.confidence:.1%} supp={m.support_count}"
+        )
+
+
+class HypothesisExplorer:
+    """Interactive-style exploration of GR hypotheses on one network."""
+
+    def __init__(self, network: SocialNetwork) -> None:
+        self.network = network
+        self.schema = network.schema
+        self.engine = MetricEngine(network)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, gr: GR, label: str = "") -> Hypothesis:
+        """Measure a GR; ``label`` defaults to the GR's canonical form."""
+        return Hypothesis(label or str(gr), gr, self.engine.evaluate(gr))
+
+    def compare(self, hypotheses: Iterable[GR | Hypothesis]) -> list[Hypothesis]:
+        """Evaluate several GRs and sort by nhp (descending, ties by supp)."""
+        evaluated = [
+            h if isinstance(h, Hypothesis) else self.evaluate(h) for h in hypotheses
+        ]
+        evaluated.sort(key=lambda h: (-h.metrics.nhp, -h.metrics.support_count))
+        return evaluated
+
+    # ------------------------------------------------------------------
+    # Variation constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _edit(descriptor: Descriptor, attr: str, value: str | None) -> Descriptor:
+        items = tuple((n, v) for n, v in descriptor.items if n != attr)
+        if value is not None:
+            items += ((attr, value),)
+        return Descriptor(items)
+
+    def replace_value(self, gr: GR, side: str, attr: str, value: str) -> GR:
+        """Replace (or set) a condition's value on ``side`` ∈ {lhs, rhs, edge}.
+
+        The paper's canonical move: turning P207 ``(G:Male, A:25-34) →
+        (A:18-24)`` into its ``(G:Female, ...)`` counterpart.
+        """
+        self._check_value(side, attr, value)
+        if side == "lhs":
+            return GR(self._edit(gr.lhs, attr, value), gr.rhs, gr.edge)
+        if side == "rhs":
+            return GR(gr.lhs, self._edit(gr.rhs, attr, value), gr.edge)
+        if side == "edge":
+            return GR(gr.lhs, gr.rhs, self._edit(gr.edge, attr, value))
+        raise ValueError(f"side must be 'lhs', 'rhs' or 'edge', got {side!r}")
+
+    def add_condition(self, gr: GR, side: str, attr: str, value: str) -> GR:
+        """Specialize a GR by one condition (P5 → (G:Male, L:SP) → ...)."""
+        if side == "lhs" and attr in gr.lhs or side == "rhs" and attr in gr.rhs:
+            raise ValueError(f"{attr!r} already constrained on {side}; use replace_value")
+        return self.replace_value(gr, side, attr, value)
+
+    def drop_condition(self, gr: GR, side: str, attr: str) -> GR:
+        """Generalize a GR by removing one condition."""
+        if side == "lhs":
+            return GR(self._edit(gr.lhs, attr, None), gr.rhs, gr.edge)
+        if side == "rhs":
+            return GR(gr.lhs, self._edit(gr.rhs, attr, None), gr.edge)
+        if side == "edge":
+            return GR(gr.lhs, gr.rhs, self._edit(gr.edge, attr, None))
+        raise ValueError(f"side must be 'lhs', 'rhs' or 'edge', got {side!r}")
+
+    def _check_value(self, side: str, attr: str, value: str) -> None:
+        if side in ("lhs", "rhs"):
+            self.schema.node_attribute(attr).code(value)
+        else:
+            self.schema.edge_attribute(attr).code(value)
+
+    # ------------------------------------------------------------------
+    # Systematic neighbourhood
+    # ------------------------------------------------------------------
+    def one_step_variations(
+        self, gr: GR, min_support: int = 1, top: int | None = None
+    ) -> list[Hypothesis]:
+        """All single-value replacements of the seed GR, ranked by nhp.
+
+        Every constrained attribute on either side is swept over its
+        other values; variations below ``min_support`` edges are
+        dropped.  This mechanizes one round of the Remark 3 cycle.
+        """
+        variations: list[Hypothesis] = []
+        for side, descriptor in (("lhs", gr.lhs), ("rhs", gr.rhs), ("edge", gr.edge)):
+            for attr_name, current in descriptor.items:
+                attr = (
+                    self.schema.node_attribute(attr_name)
+                    if side != "edge"
+                    else self.schema.edge_attribute(attr_name)
+                )
+                for value in attr.values:
+                    if value == current:
+                        continue
+                    variant = self.replace_value(gr, side, attr_name, value)
+                    hypothesis = self.evaluate(
+                        variant, label=f"{side}:{attr_name}={value}"
+                    )
+                    if hypothesis.metrics.support_count >= min_support:
+                        variations.append(hypothesis)
+        variations.sort(key=lambda h: (-h.metrics.nhp, -h.metrics.support_count))
+        return variations[:top] if top is not None else variations
+
+    # ------------------------------------------------------------------
+    # Data distribution probes
+    # ------------------------------------------------------------------
+    def value_distribution(self, attr: str, over: str = "nodes") -> dict[str, float]:
+        """Share of each value of ``attr`` among nodes, edge sources or
+        edge destinations (``over`` ∈ {nodes, sources, destinations}).
+
+        The paper's sanity probe: e.g. 91.18% of DBLP authors are Poor,
+        which explains D1/D3/D5; Secondary education is 19.54% of Pokec,
+        which explains P2.
+        """
+        attribute = self.schema.node_attribute(attr)
+        if over == "nodes":
+            codes = self.network.node_column(attr)
+        elif over == "sources":
+            codes = self.network.source_values(attr)
+        elif over == "destinations":
+            codes = self.network.dest_values(attr)
+        else:
+            raise ValueError(f"over must be nodes/sources/destinations, got {over!r}")
+        total = codes.size or 1
+        counts = np.bincount(codes, minlength=attribute.domain_size + 1)
+        return {
+            attribute.label(code): counts[code] / total
+            for code in range(1, attribute.domain_size + 1)
+        }

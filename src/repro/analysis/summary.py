@@ -1,0 +1,158 @@
+"""Report formatting and export: Table II comparisons, CSV/JSON results."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..core.results import MinedGR, MiningResult
+
+__all__ = [
+    "format_result",
+    "format_table2",
+    "result_rows",
+    "result_to_csv",
+    "result_to_json",
+]
+
+
+def result_rows(result: MiningResult | Iterable[MinedGR]) -> list[dict[str, object]]:
+    """Flatten a mining result into row dicts (for CSV output or tests)."""
+    rows = []
+    for i, mined in enumerate(result, start=1):
+        m = mined.metrics
+        rows.append(
+            {
+                "rank": i,
+                "gr": str(mined.gr),
+                "score": mined.score,
+                "nhp": m.nhp,
+                "confidence": m.confidence,
+                "support_count": m.support_count,
+                "support": m.support,
+                "beta": ",".join(m.beta),
+            }
+        )
+    return rows
+
+
+def result_to_csv(result: MiningResult | Iterable[MinedGR], path: str | Path) -> Path:
+    """Write a mining result to CSV (one row per GR, metric columns)."""
+    path = Path(path)
+    rows = result_rows(result)
+    fieldnames = (
+        list(rows[0].keys())
+        if rows
+        else ["rank", "gr", "score", "nhp", "confidence", "support_count", "support", "beta"]
+    )
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def result_to_json(result: MiningResult | Iterable[MinedGR], path: str | Path) -> Path:
+    """Write a mining result to JSON, including descriptor structure.
+
+    Each entry carries both the canonical string and the parsed
+    ``lhs`` / ``edge`` / ``rhs`` condition dicts, so downstream tools
+    need not re-parse the GR syntax.
+    """
+    path = Path(path)
+    entries = []
+    for i, mined in enumerate(result, start=1):
+        m = mined.metrics
+        entries.append(
+            {
+                "rank": i,
+                "gr": str(mined.gr),
+                "lhs": mined.gr.lhs.as_dict(),
+                "edge": mined.gr.edge.as_dict(),
+                "rhs": mined.gr.rhs.as_dict(),
+                "score": mined.score,
+                "nhp": m.nhp,
+                "confidence": m.confidence,
+                "support_count": m.support_count,
+                "support": m.support,
+                "lw_count": m.lw_count,
+                "homophily_count": m.homophily_count,
+                "beta": list(m.beta),
+            }
+        )
+    path.write_text(json.dumps(entries, indent=2))
+    return path
+
+
+def format_result(
+    result: MiningResult | Iterable[MinedGR], title: str = "", limit: int | None = None
+) -> str:
+    """Human-readable ranked listing of mined GRs."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    entries = list(result)
+    if limit is not None:
+        entries = entries[:limit]
+    if not entries:
+        lines.append("(no GRs)")
+    for i, mined in enumerate(entries, start=1):
+        m = mined.metrics
+        lines.append(
+            f"{i:3d}. {mined.gr}\n"
+            f"     nhp = {m.nhp:6.1%}; supp = {m.support_count}"
+            f"  (conf = {m.confidence:.1%})"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(
+    nhp_result: MiningResult | Sequence[MinedGR],
+    conf_result: MiningResult | Sequence[MinedGR],
+    rows: int = 5,
+    title: str = "Top GRs ranked by nhp vs conf",
+) -> str:
+    """Side-by-side comparison in the shape of the paper's Table II.
+
+    Left column: top GRs by non-homophily preference (with their conf
+    in parentheses, as the paper prints).  Right column: top GRs by
+    standard confidence.
+    """
+    nhp_list = list(nhp_result)[:rows]
+    conf_list = list(conf_result)[:rows]
+
+    def nhp_block(i: int) -> list[str]:
+        if i >= len(nhp_list):
+            return ["", "", ""]
+        m = nhp_list[i]
+        return [
+            str(m.gr),
+            f"nhp = {m.metrics.nhp:.1%}; supp = {m.metrics.support_count}",
+            f"(conf = {m.metrics.confidence:.1%})",
+        ]
+
+    def conf_block(i: int) -> list[str]:
+        if i >= len(conf_list):
+            return ["", "", ""]
+        m = conf_list[i]
+        return [
+            str(m.gr),
+            f"conf = {m.metrics.confidence:.1%}; supp = {m.metrics.support_count}",
+            "",
+        ]
+
+    width = max(
+        [40] + [len(line) for i in range(rows) for line in nhp_block(i)]
+    )
+    lines = [title, "=" * (width + 45)]
+    lines.append(f"{'Ranked by nhp':<{width}} | Ranked by conf")
+    lines.append("-" * (width + 45))
+    for i in range(max(len(nhp_list), len(conf_list))):
+        left, right = nhp_block(i), conf_block(i)
+        for l_line, r_line in zip(left, right):
+            lines.append(f"{l_line:<{width}} | {r_line}")
+        lines.append("-" * (width + 45))
+    return "\n".join(lines)

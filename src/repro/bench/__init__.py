@@ -1,0 +1,5 @@
+"""Benchmark harness shared by the Fig. 4 / Table II regenerators."""
+
+from .harness import run_series, format_series, algorithm_factories
+
+__all__ = ["run_series", "format_series", "algorithm_factories"]

@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   Write a synthetic dataset (toy / pokec / dblp / financial)
+               to a CSV directory.
+``info``       Print a dataset's schema, sizes and homophily report.
+``mine``       Run GRMiner on a CSV directory and print the top-k GRs.
+``compare``    Print the Table II style nhp-vs-conf comparison.
+``homophily``  Suggest homophily attributes from the data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.homophily import homophily_report, suggest_homophily_attributes
+from .analysis.summary import format_result, format_table2
+from .core.baselines import ConfidenceMiner
+from .core.miner import GRMiner
+from .data.network import SocialNetwork
+from .io.loaders import load_network, save_network
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_min_support(text: str) -> int | float:
+    """Accept either an absolute count ("50") or a fraction ("0.001")."""
+    value = float(text)
+    if value >= 1.0 and value == int(value):
+        return int(value)
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mine top-k group relationships beyond homophily (ICDE 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset to CSV")
+    gen.add_argument("dataset", choices=("toy", "pokec", "dblp", "financial"))
+    gen.add_argument("directory", help="output directory")
+    gen.add_argument("--nodes", type=int, default=None, help="source-node count")
+    gen.add_argument("--edges", type=int, default=None, help="edge count")
+    gen.add_argument("--seed", type=int, default=None)
+
+    info = sub.add_parser("info", help="print dataset statistics")
+    info.add_argument("directory")
+
+    mine = sub.add_parser("mine", help="run GRMiner on a CSV dataset")
+    _add_mining_arguments(mine)
+
+    compare = sub.add_parser("compare", help="Table II style nhp-vs-conf comparison")
+    _add_mining_arguments(compare)
+    compare.add_argument("--rows", type=int, default=5)
+
+    hom = sub.add_parser("homophily", help="suggest homophily attributes")
+    hom.add_argument("directory")
+    hom.add_argument("--threshold", type=float, default=0.1)
+    return parser
+
+
+def _add_mining_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("directory", help="CSV dataset directory")
+    parser.add_argument("-k", type=int, default=10, help="result size (top-k)")
+    parser.add_argument(
+        "--min-support",
+        type=_parse_min_support,
+        default=1,
+        help="absolute count (>=1) or fraction (<1) of |E|",
+    )
+    parser.add_argument("--min-nhp", type=float, default=0.5)
+    parser.add_argument(
+        "--rank-by", choices=("nhp", "confidence", "laplace", "gain"), default="nhp"
+    )
+    parser.add_argument(
+        "--homophily",
+        nargs="*",
+        default=None,
+        help="override the schema's homophily attributes",
+    )
+    parser.add_argument(
+        "--attributes", nargs="*", default=None, help="restrict node attributes"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the result to this path (.csv or .json)",
+    )
+
+
+def _load(directory: str, homophily: Sequence[str] | None) -> SocialNetwork:
+    network = load_network(directory)
+    if homophily is not None:
+        network = network.with_homophily(homophily)
+    return network
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .datasets import (
+        synthetic_dblp,
+        synthetic_financial,
+        synthetic_pokec,
+        toy_dating_network,
+    )
+
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.dataset == "toy":
+        network = toy_dating_network()
+    elif args.dataset == "pokec":
+        if args.nodes is not None:
+            kwargs["num_sources"] = args.nodes
+        if args.edges is not None:
+            kwargs["num_edges"] = args.edges
+        network = synthetic_pokec(**kwargs)
+    elif args.dataset == "dblp":
+        if args.nodes is not None:
+            kwargs["num_authors"] = args.nodes
+        if args.edges is not None:
+            kwargs["num_links"] = args.edges // 2
+        network = synthetic_dblp(**kwargs)
+    else:
+        if args.nodes is not None:
+            kwargs["num_nodes"] = args.nodes
+        if args.edges is not None:
+            kwargs["num_edges"] = args.edges
+        network = synthetic_financial(**kwargs)
+    path = save_network(network, args.directory)
+    print(f"wrote {network} to {path}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    network = load_network(args.directory)
+    print(network)
+    print("node attributes:")
+    for attr in network.schema.node_attributes:
+        flag = " (homophily)" if attr.homophily else ""
+        print(f"  {attr.name}{flag}: {attr.domain_size} values")
+    for attr in network.schema.edge_attributes:
+        print(f"  [edge] {attr.name}: {attr.domain_size} values")
+    report = homophily_report(network)
+    print("homophily report (assortativity / propensity):")
+    for name, stats in report.items():
+        print(f"  {name}: {stats['assortativity']:+.3f} / {stats['propensity']:.2f}")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    network = _load(args.directory, args.homophily)
+    miner = GRMiner(
+        network,
+        min_support=args.min_support,
+        min_score=args.min_nhp,
+        k=args.k,
+        rank_by=args.rank_by,
+        node_attributes=args.attributes,
+    )
+    result = miner.mine()
+    print(format_result(result, title=f"Top-{args.k} GRs by {args.rank_by}"))
+    stats = result.stats
+    print(
+        f"\n[{stats.grs_examined} GRs examined, {stats.candidates} candidates, "
+        f"{stats.runtime_seconds:.3f}s]"
+    )
+    if args.output:
+        from .analysis.summary import result_to_csv, result_to_json
+
+        if args.output.endswith(".json"):
+            path = result_to_json(result, args.output)
+        else:
+            path = result_to_csv(result, args.output)
+        print(f"wrote {len(result)} GRs to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    network = _load(args.directory, args.homophily)
+    common = dict(
+        min_support=args.min_support,
+        k=args.k,
+        node_attributes=args.attributes,
+    )
+    nhp_result = GRMiner(network, min_score=args.min_nhp, **common).mine()
+    conf_result = ConfidenceMiner(network, min_score=args.min_nhp, **common).mine()
+    print(format_table2(nhp_result, conf_result, rows=args.rows))
+    return 0
+
+
+def _cmd_homophily(args: argparse.Namespace) -> int:
+    network = load_network(args.directory)
+    suggested = suggest_homophily_attributes(network, args.threshold)
+    report = homophily_report(network)
+    for name, stats in report.items():
+        marker = " *" if name in suggested else ""
+        print(f"{name}: assortativity={stats['assortativity']:+.3f}{marker}")
+    print("suggested homophily attributes:", " ".join(suggested) or "(none)")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "mine": _cmd_mine,
+    "compare": _cmd_compare,
+    "homophily": _cmd_homophily,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""The baseline miners of Section VI-D: BL1, BL2 and confidence ranking.
+
+* :class:`BL1Miner` — stores everything in the single joined edge table
+  (:class:`~repro.data.edgetable.EdgeTable`) and runs the BUC iceberg
+  cube with *support-only* pruning; GR construction, nhp evaluation,
+  triviality/generality filtering and top-k selection all happen in a
+  post-processing step.  This is the paper's BL1.
+* :class:`BL2Miner` — the same support-only search strategy, but over the
+  three-table compact model (LArray/EArray/RArray).  Implemented as
+  GRMiner with nhp pushdown and the dynamic top-k upgrade disabled,
+  which is precisely what distinguishes the baselines from GRMiner in
+  the paper's Fig. 4 comparisons.
+* :class:`ConfidenceMiner` — top-k ranking by standard confidence (the
+  right-hand columns of Table II), where the homophily effect is *not*
+  excluded and trivial GRs compete.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..cube.buc import BUC, Cell, cell_to_maps
+from ..data.edgetable import EdgeTable, lhs_column, rhs_column, split_column
+from ..data.network import SocialNetwork
+from .descriptors import gr_from_codes
+from .metrics import GRMetrics
+from .miner import GRMiner
+from .results import MinedGR, MiningResult, MiningStats
+
+__all__ = ["BL1Miner", "BL2Miner", "ConfidenceMiner"]
+
+
+class BL1Miner:
+    """BUC over the single joined table, with top-k GRs as post-processing.
+
+    Parameters mirror :class:`~repro.core.miner.GRMiner` where they are
+    meaningful; there is no ``push_topk`` / ``push_score_pruning`` because
+    BL1 by definition pushes only ``minSupp`` (Section VI-D: "Both
+    baselines prune the search space using the anti-monotonicity of
+    support, but not minNhp, and find the top-k GRs in a post-processing
+    step").
+    """
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        min_support: int | float = 1,
+        min_score: float = 0.0,
+        k: int | None = None,
+        rank_by: str = "nhp",
+        node_attributes: Sequence[str] | None = None,
+        include_trivial: bool | None = None,
+        allow_empty_lhs: bool = False,
+        apply_generality: bool = True,
+    ) -> None:
+        if rank_by not in ("nhp", "confidence"):
+            raise ValueError(f"rank_by must be 'nhp' or 'confidence', got {rank_by!r}")
+        self.network = network
+        self.schema = network.schema
+        self.abs_min_support = GRMiner._absolute_support(min_support, network.num_edges)
+        self.min_score = float(min_score)
+        self.k = k
+        self.rank_by = rank_by
+        self.node_attributes = (
+            tuple(node_attributes)
+            if node_attributes is not None
+            else self.schema.node_attribute_names
+        )
+        if include_trivial is None:
+            include_trivial = rank_by != "nhp"
+        self.include_trivial = include_trivial
+        self.allow_empty_lhs = allow_empty_lhs
+        self.apply_generality = apply_generality
+
+        self.table = EdgeTable(network)
+        keep = set(self.node_attributes)
+        self._columns = {
+            name: col
+            for name, col in self.table.columns.items()
+            if split_column(name)[1] == "W" or split_column(name)[0] in keep
+        }
+        self._domains = {name: self.table.domain_sizes[name] for name in self._columns}
+        # Canonical cell key ordering: the BUC recursion adds columns in
+        # declaration order, so lookups must sort the same way.
+        self._column_rank = {name: i for i, name in enumerate(self._columns)}
+
+    # ------------------------------------------------------------------
+    def _cell_key(self, pairs: Sequence[tuple[str, int]]) -> Cell:
+        return tuple(sorted(pairs, key=lambda p: self._column_rank[p[0]]))
+
+    def mine(self) -> MiningResult:
+        start = time.perf_counter()
+        stats = MiningStats()
+        cube = BUC(self._columns, self._domains, self.abs_min_support).compute()
+        stats.grs_examined = len(cube)
+
+        hom_cache: dict[tuple[Cell, tuple[str, ...]], int] = {}
+        qualifying: list[MinedGR] = []
+        for cell, count in cube.items():
+            maps = cell_to_maps(cell, split_column)
+            l_map, w_map, r_map = maps["L"], maps["W"], maps["R"]
+            if not r_map:
+                continue
+            if not l_map and not self.allow_empty_lhs:
+                continue
+            stats.lw_nodes += 1
+            metrics = self._metrics(cell, count, l_map, w_map, r_map, cube, hom_cache)
+            trivial = all(
+                self.schema.is_homophily(name) and l_map.get(name) == value
+                for name, value in r_map.items()
+            )
+            if trivial and not self.include_trivial:
+                continue
+            score = metrics.nhp if self.rank_by == "nhp" else metrics.confidence
+            if score < self.min_score:
+                continue
+            gr = gr_from_codes(self.schema, l_map, w_map, r_map)
+            qualifying.append(MinedGR(gr=gr, metrics=metrics, score=score))
+        stats.candidates = len(qualifying)
+
+        if self.apply_generality:
+            identities = {(m.gr.lhs, m.gr.edge, m.gr.rhs) for m in qualifying}
+            results = [
+                m
+                for m in qualifying
+                if not any(
+                    (g.lhs, g.edge, g.rhs) in identities for g in m.gr.generalizations()
+                )
+            ]
+            stats.pruned_by_generality = len(qualifying) - len(results)
+        else:
+            results = qualifying
+        results.sort(key=lambda m: (-m.score, -m.metrics.support_count, m.gr.sort_key()))
+        if self.k is not None:
+            results = results[: self.k]
+        stats.runtime_seconds = time.perf_counter() - start
+        return MiningResult(
+            grs=results,
+            stats=stats,
+            params={"baseline": "BL1", "rank_by": self.rank_by, "k": self.k},
+        )
+
+    # ------------------------------------------------------------------
+    def _metrics(
+        self,
+        cell: Cell,
+        count: int,
+        l_map: dict[str, int],
+        w_map: dict[str, int],
+        r_map: dict[str, int],
+        cube: dict[Cell, int],
+        hom_cache: dict[tuple[Cell, tuple[str, ...]], int],
+    ) -> GRMetrics:
+        lw_pairs = [(lhs_column(n), v) for n, v in l_map.items()]
+        lw_pairs += [(n, v) for n, v in w_map.items()]
+        lw_key = self._cell_key(lw_pairs)
+        # The l ∧ w cell is frequent whenever the full cell is, so it is
+        # always present in the iceberg cube.
+        lw_count = cube[lw_key]
+
+        beta = tuple(
+            sorted(
+                name
+                for name, value in r_map.items()
+                if self.schema.is_homophily(name)
+                and name in l_map
+                and l_map[name] != value
+            )
+        )
+        homophily_count = 0
+        if beta:
+            cache_key = (lw_key, beta)
+            homophily_count = hom_cache.get(cache_key, -1)
+            if homophily_count < 0:
+                # supp(l -w-> l[β]) may fall below minSupp and hence be
+                # missing from the cube: count it directly on the table.
+                mask = np.ones(self.table.num_rows, dtype=bool)
+                for column, value in lw_key:
+                    mask &= self._columns[column] == value
+                for name in beta:
+                    mask &= self._columns[rhs_column(name)] == l_map[name]
+                homophily_count = int(mask.sum())
+                hom_cache[cache_key] = homophily_count
+        return GRMetrics(
+            support_count=count,
+            lw_count=lw_count,
+            homophily_count=homophily_count,
+            num_edges=self.network.num_edges,
+            beta=beta,
+        )
+
+
+class BL2Miner(GRMiner):
+    """Support-only pruning over the three-table compact model.
+
+    The second baseline of Section VI-D: identical storage to GRMiner,
+    but "prunes the search space using the anti-monotonicity of support,
+    but not minNhp", finding the top-k in post-processing.  Concretely:
+    ``push_score_pruning=False`` and ``push_topk=False``; every other
+    mechanism (SFDF order, generality index, ranking) is shared.
+    """
+
+    def __init__(self, network: SocialNetwork, **kwargs) -> None:
+        kwargs.setdefault("push_score_pruning", False)
+        kwargs.setdefault("push_topk", False)
+        super().__init__(network, **kwargs)
+
+    def mine(self) -> MiningResult:
+        result = super().mine()
+        result.params["baseline"] = "BL2"
+        return result
+
+
+class ConfidenceMiner(GRMiner):
+    """Top-k GRs ranked by standard confidence (Table II's conf columns).
+
+    The homophily effect is not excluded and trivial GRs are admitted,
+    which is exactly why this ranking surfaces ``(R:x) → (R:x)``-style
+    patterns the nhp ranking filters out.
+    """
+
+    def __init__(self, network: SocialNetwork, **kwargs) -> None:
+        kwargs.setdefault("rank_by", "confidence")
+        super().__init__(network, **kwargs)

@@ -1,0 +1,160 @@
+"""Brute-force reference miner.
+
+Enumerates *every* GR over the schema directly from the Definition 2–5
+semantics, with no search-space tricks: all value assignments for all
+attribute subsets, metrics via :class:`~repro.core.metrics.MetricEngine`,
+then threshold / triviality / generality / top-k filtering as literal
+set operations.
+
+It is exponential and only usable on small networks and schemas — which
+is exactly its job: the gold standard GRMiner's output is tested against
+(unit tests and hypothesis property tests).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterator, Sequence
+
+from ..data.network import SocialNetwork
+from .descriptors import GR, Descriptor
+from .metrics import MetricEngine
+from .results import MinedGR, MiningResult, MiningStats
+
+__all__ = ["BruteForceMiner", "enumerate_all_grs"]
+
+
+def _descriptor_assignments(
+    attributes: Sequence, max_attrs: int | None
+) -> Iterator[Descriptor]:
+    """All descriptors over ``attributes`` (including the empty one)."""
+    limit = len(attributes) if max_attrs is None else min(max_attrs, len(attributes))
+    for size in range(limit + 1):
+        for attrs in combinations(attributes, size):
+            for values in product(*(attr.values for attr in attrs)):
+                yield Descriptor(tuple((a.name, v) for a, v in zip(attrs, values)))
+
+
+def enumerate_all_grs(
+    network: SocialNetwork,
+    node_attributes: Sequence[str] | None = None,
+    max_lhs_attrs: int | None = None,
+    max_rhs_attrs: int | None = None,
+    max_edge_attrs: int | None = None,
+    allow_empty_lhs: bool = False,
+) -> Iterator[GR]:
+    """Yield every syntactically valid GR over the network's schema."""
+    schema = network.schema
+    names = node_attributes if node_attributes is not None else schema.node_attribute_names
+    node_attrs = [schema.node_attribute(n) for n in names]
+    edge_attrs = list(schema.edge_attributes)
+    for lhs in _descriptor_assignments(node_attrs, max_lhs_attrs):
+        if not lhs and not allow_empty_lhs:
+            continue
+        for edge in _descriptor_assignments(edge_attrs, max_edge_attrs):
+            for rhs in _descriptor_assignments(node_attrs, max_rhs_attrs):
+                if not rhs:
+                    continue
+                yield GR(lhs, rhs, edge)
+
+
+class BruteForceMiner:
+    """Definition-level top-k GR mining (see module docstring).
+
+    The constructor mirrors :class:`~repro.core.miner.GRMiner` where the
+    parameters are meaningful for a brute-force search.
+    """
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        min_support: int | float = 1,
+        min_score: float = 0.0,
+        k: int | None = None,
+        rank_by: str = "nhp",
+        node_attributes: Sequence[str] | None = None,
+        include_trivial: bool | None = None,
+        allow_empty_lhs: bool = False,
+        max_lhs_attrs: int | None = None,
+        max_rhs_attrs: int | None = None,
+        max_edge_attrs: int | None = None,
+        apply_generality: bool = True,
+        laplace_k: int = 2,
+        gain_theta: float = 0.5,
+    ) -> None:
+        if rank_by not in ("nhp", "confidence", "laplace", "gain"):
+            raise ValueError(f"unsupported rank_by {rank_by!r}")
+        self.network = network
+        self.schema = network.schema
+        self.engine = MetricEngine(network)
+        from .miner import GRMiner  # shared threshold translation
+
+        self.abs_min_support = GRMiner._absolute_support(min_support, network.num_edges)
+        self.min_score = float(min_score)
+        self.k = k
+        self.rank_by = rank_by
+        self.node_attributes = node_attributes
+        if include_trivial is None:
+            include_trivial = rank_by != "nhp"
+        self.include_trivial = include_trivial
+        self.allow_empty_lhs = allow_empty_lhs
+        self.max_lhs_attrs = max_lhs_attrs
+        self.max_rhs_attrs = max_rhs_attrs
+        self.max_edge_attrs = max_edge_attrs
+        self.apply_generality = apply_generality
+        self.laplace_k = laplace_k
+        self.gain_theta = gain_theta
+
+    def _score(self, metrics) -> float:
+        if self.rank_by == "nhp":
+            return metrics.nhp
+        if self.rank_by == "confidence":
+            return metrics.confidence
+        if self.rank_by == "laplace":
+            return (metrics.support_count + 1) / (metrics.lw_count + self.laplace_k)
+        num_edges = metrics.num_edges or 1
+        return (metrics.support_count - self.gain_theta * metrics.lw_count) / num_edges
+
+    def mine(self) -> MiningResult:
+        stats = MiningStats()
+        # Condition (1): thresholds and triviality.
+        qualifying: list[MinedGR] = []
+        for gr in enumerate_all_grs(
+            self.network,
+            node_attributes=self.node_attributes,
+            max_lhs_attrs=self.max_lhs_attrs,
+            max_rhs_attrs=self.max_rhs_attrs,
+            max_edge_attrs=self.max_edge_attrs,
+            allow_empty_lhs=self.allow_empty_lhs,
+        ):
+            stats.grs_examined += 1
+            if gr.is_trivial(self.schema) and not self.include_trivial:
+                continue
+            metrics = self.engine.evaluate(gr)
+            if metrics.support_count < self.abs_min_support:
+                continue
+            score = self._score(metrics)
+            if score < self.min_score:
+                continue
+            qualifying.append(MinedGR(gr=gr, metrics=metrics, score=score))
+        stats.candidates = len(qualifying)
+
+        # Condition (2): drop GRs with a strictly more general qualifier.
+        if self.apply_generality:
+            by_identity = {(m.gr.lhs, m.gr.edge, m.gr.rhs) for m in qualifying}
+            maximal = [
+                m
+                for m in qualifying
+                if not any(
+                    (g.lhs, g.edge, g.rhs) in by_identity for g in m.gr.generalizations()
+                )
+            ]
+        else:
+            maximal = qualifying
+        stats.pruned_by_generality = len(qualifying) - len(maximal)
+
+        # Condition (3): rank and truncate.
+        maximal.sort(key=lambda m: (-m.score, -m.metrics.support_count, m.gr.sort_key()))
+        if self.k is not None:
+            maximal = maximal[: self.k]
+        return MiningResult(grs=maximal, stats=stats, params={"rank_by": self.rank_by})

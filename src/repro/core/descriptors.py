@@ -1,0 +1,230 @@
+"""Group relationships (GRs) and descriptors (Section III-A).
+
+A *descriptor* is a set of ``(attribute, value)`` pairs; a node descriptor
+selects the nodes sharing those values, an edge descriptor selects edges.
+A *group relationship* ``l --w--> r`` (Definition 1) combines a node
+descriptor ``l`` for edge sources, an edge descriptor ``w`` and a node
+descriptor ``r`` for edge destinations.
+
+This module defines the value-level objects used throughout the library:
+
+* :class:`Descriptor` — immutable, canonically ordered attribute/value set.
+* :class:`GR` — a group relationship with the paper's derived notions:
+  ``beta`` (Eqn. 4), the homophily effect RHS ``l[β]`` (Eqn. 5),
+  triviality, and the generality partial order of Section III-C.
+
+GRs here carry *labels*; the miners work on integer codes internally and
+decode through the schema at the API boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from ..data.schema import Schema
+
+__all__ = ["Descriptor", "GR", "gr_from_codes"]
+
+
+def gr_from_codes(
+    schema: Schema,
+    l_map: Mapping[str, int],
+    w_map: Mapping[str, int],
+    r_map: Mapping[str, int],
+) -> "GR":
+    """Decode integer assignment maps into a labelled :class:`GR`."""
+    lhs = Descriptor(
+        tuple((n, schema.node_attribute(n).label(c)) for n, c in l_map.items())
+    )
+    rhs = Descriptor(
+        tuple((n, schema.node_attribute(n).label(c)) for n, c in r_map.items())
+    )
+    edge = Descriptor(
+        tuple((n, schema.edge_attribute(n).label(c)) for n, c in w_map.items())
+    )
+    return GR(lhs, rhs, edge)
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """An immutable set of ``(attribute, value)`` conditions.
+
+    Items are stored sorted by attribute name, giving every descriptor a
+    canonical form; two descriptors with the same conditions compare and
+    hash equal regardless of construction order.
+    """
+
+    items: tuple[tuple[str, str], ...]
+
+    def __init__(self, items: Mapping[str, str] | Iterable[tuple[str, str]] = ()) -> None:
+        pairs = tuple(sorted(items.items() if isinstance(items, Mapping) else items))
+        names = [name for name, _ in pairs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"descriptor repeats an attribute: {pairs}")
+        object.__setattr__(self, "items", pairs)
+
+    # -- set-like behaviour -------------------------------------------
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self.items)
+
+    def __contains__(self, attribute: str) -> bool:
+        return any(name == attribute for name, _ in self.items)
+
+    def __getitem__(self, attribute: str) -> str:
+        for name, value in self.items:
+            if name == attribute:
+                return value
+        raise KeyError(attribute)
+
+    def get(self, attribute: str, default: str | None = None) -> str | None:
+        for name, value in self.items:
+            if name == attribute:
+                return value
+        return default
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names constrained by this descriptor."""
+        return tuple(name for name, _ in self.items)
+
+    def issubset(self, other: "Descriptor") -> bool:
+        """Whether every condition of ``self`` also appears in ``other``."""
+        return set(self.items) <= set(other.items)
+
+    def extend(self, attribute: str, value: str) -> "Descriptor":
+        """A new descriptor with one extra condition."""
+        return Descriptor(self.items + ((attribute, value),))
+
+    def restrict(self, attributes: Iterable[str]) -> "Descriptor":
+        """A new descriptor keeping only conditions on ``attributes``."""
+        keep = set(attributes)
+        return Descriptor(tuple((n, v) for n, v in self.items if n in keep))
+
+    def as_dict(self) -> dict[str, str]:
+        return dict(self.items)
+
+    def __str__(self) -> str:
+        if not self.items:
+            return "()"
+        return "(" + ", ".join(f"{name}:{value}" for name, value in self.items) + ")"
+
+    def __repr__(self) -> str:
+        return f"Descriptor({self.items!r})"
+
+
+@dataclass(frozen=True)
+class GR:
+    """A group relationship ``l --w--> r`` (Definition 1).
+
+    Attributes
+    ----------
+    lhs:
+        Node descriptor for edge sources (``l``).
+    rhs:
+        Node descriptor for edge destinations (``r``); must be non-empty.
+    edge:
+        Edge descriptor (``w``); may be empty.
+    """
+
+    lhs: Descriptor
+    rhs: Descriptor
+    edge: Descriptor = Descriptor()
+
+    def __post_init__(self) -> None:
+        if not self.rhs:
+            raise ValueError("a GR needs a non-empty RHS")
+        overlap_l = set(self.lhs.attributes) & set(self.edge.attributes)
+        overlap_r = set(self.rhs.attributes) & set(self.edge.attributes)
+        if overlap_l or overlap_r:
+            raise ValueError(
+                "edge descriptor shares attribute names with a node descriptor: "
+                f"{sorted(overlap_l | overlap_r)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Paper-derived notions
+    # ------------------------------------------------------------------
+    def beta(self, schema: Schema) -> tuple[str, ...]:
+        """The attribute set β of Eqn. (4).
+
+        Homophily attributes constrained on both sides with *different*
+        values: ``β = {Aʳ ∈ R | Aˡ ∈ L, r[Aʳ] ≠ l[Aˡ]}`` restricted to
+        homophily attributes.
+        """
+        return tuple(
+            name
+            for name, r_value in self.rhs.items
+            if schema.is_homophily(name)
+            and name in self.lhs
+            and self.lhs[name] != r_value
+        )
+
+    def homophily_effect_rhs(self, schema: Schema) -> Descriptor:
+        """The RHS ``l[β]`` of the homophily effect ``l -w-> l[β]`` (Eqn. 5).
+
+        Empty when β = ∅, in which case nhp degenerates to confidence
+        (Remark 1).
+        """
+        return Descriptor(tuple((name, self.lhs[name]) for name in self.beta(schema)))
+
+    def is_trivial(self, schema: Schema) -> bool:
+        """Triviality test (Section III-B).
+
+        A GR is trivial when *all* values in ``r`` come from homophily
+        attributes and ``r ⊆ l``: it then merely restates the homophily
+        principle.
+        """
+        return all(
+            schema.is_homophily(name) and self.lhs.get(name) == value
+            for name, value in self.rhs.items
+        )
+
+    # ------------------------------------------------------------------
+    # Generality (Section III-C)
+    # ------------------------------------------------------------------
+    def is_more_general_than(self, other: "GR") -> bool:
+        """Strict generality: same RHS, ``l ⊆ l'`` and ``w ⊆ w'``, not equal."""
+        return (
+            self.rhs == other.rhs
+            and self.lhs.issubset(other.lhs)
+            and self.edge.issubset(other.edge)
+            and self != other
+        )
+
+    def generalizations(self) -> Iterator["GR"]:
+        """All strictly more general GRs (same RHS, sub-descriptors of l∧w).
+
+        Enumerates the ``2^(|l|+|w|) - 1`` proper sub-selections of the
+        LHS and edge conditions; used by the generality index.
+        """
+        lw_items = [("L", item) for item in self.lhs.items]
+        lw_items += [("W", item) for item in self.edge.items]
+        n = len(lw_items)
+        for mask in range((1 << n) - 1):  # excludes the full selection
+            l_sel = tuple(item for j, (role, item) in enumerate(lw_items) if mask >> j & 1 and role == "L")
+            w_sel = tuple(item for j, (role, item) in enumerate(lw_items) if mask >> j & 1 and role == "W")
+            yield GR(Descriptor(l_sel), self.rhs, Descriptor(w_sel))
+
+    # ------------------------------------------------------------------
+    # Canonical form
+    # ------------------------------------------------------------------
+    def sort_key(self) -> str:
+        """The "alphabetical order of GRs" used as the final rank tiebreak."""
+        return str(self)
+
+    def __str__(self) -> str:
+        if self.edge:
+            arrow = f" --{str(self.edge)}--> "
+        else:
+            arrow = " --> "
+        return f"{self.lhs}{arrow}{self.rhs}"
+
+    def __repr__(self) -> str:
+        return f"GR(lhs={self.lhs!r}, rhs={self.rhs!r}, edge={self.edge!r})"

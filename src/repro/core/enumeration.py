@@ -1,0 +1,138 @@
+"""Subset-First Depth-First (SFDF) enumeration order (Section IV-C).
+
+The search space of GRs is organized as a tree over attribute subsets
+``LWR``.  Each attribute occurrence is a :class:`Token` — ``(role, name)``
+with role ``"L"`` (source node attribute), ``"W"`` (edge attribute) or
+``"R"`` (destination node attribute).
+
+Two orders are defined:
+
+* the **static order** τ of Eqn. (7): ``NHʳ, Hʳ, W, NHˡ, Hˡ``, and
+* the **dynamic order** of Eqn. (8) applied to a node's tail:
+  ``NHʳ, Hʳ₁, Hʳ₂, W, NHˡ, Hˡ``, where ``Hʳ₂`` holds the homophily RHS
+  attributes whose LHS counterpart is already on the path and ``Hʳ₁``
+  the rest.
+
+The tail semantics (prefix of the order to the left of a node's label)
+give Property 1 (LHS before edges before RHS along any path) and
+Property 2 (every attribute subset enumerated before its supersets),
+and the dynamic ordering restores anti-monotonicity of nhp (Theorem 3):
+on any root-to-leaf path, ``Hʳ₂`` values enter the RHS before ``Hʳ₁``
+and ``NHʳ`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..data.schema import Schema
+
+__all__ = ["Token", "static_tau", "dynamic_rhs_order", "iter_subsets_sfdf"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One attribute occurrence in the enumeration order."""
+
+    role: str  # "L", "W" or "R"
+    attr: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ("L", "W", "R"):
+            raise ValueError(f"bad token role {self.role!r}")
+
+    def __str__(self) -> str:
+        suffix = {"L": "^l", "R": "^r", "W": ""}[self.role]
+        return f"{self.attr}{suffix}"
+
+
+def static_tau(
+    schema: Schema, node_attributes: Sequence[str] | None = None
+) -> tuple[Token, ...]:
+    """The static attribute order τ of Eqn. (7): ``NHʳ, Hʳ, W, NHˡ, Hˡ``.
+
+    Parameters
+    ----------
+    schema:
+        Network schema providing the homophily designation.
+    node_attributes:
+        Optional restriction of the node attributes entering the search
+        space (the Fig. 4d dimensionality experiments use prefixes of the
+        attribute list).  Defaults to all node attributes.
+
+    Notes
+    -----
+    Within each of the five groups, attributes keep schema order.  The
+    tail of a token is the *prefix* of τ before it, so tokens late in τ
+    are expanded first along root-to-leaf paths: LHS attributes enter the
+    path first, then edge attributes, then RHS attributes (Property 1).
+    """
+    names = tuple(node_attributes) if node_attributes is not None else schema.node_attribute_names
+    for name in names:
+        schema.node_attribute(name)  # validate
+    nh = [n for n in names if not schema.is_homophily(n)]
+    h = [n for n in names if schema.is_homophily(n)]
+    tau: list[Token] = []
+    tau += [Token("R", n) for n in nh]  # NH^r
+    tau += [Token("R", n) for n in h]  # H^r
+    tau += [Token("W", n) for n in schema.edge_attribute_names]  # W
+    tau += [Token("L", n) for n in nh]  # NH^l
+    tau += [Token("L", n) for n in h]  # H^l
+    return tuple(tau)
+
+
+def dynamic_rhs_order(
+    r_tokens: Iterable[Token], lhs_attributes: Iterable[str], schema: Schema
+) -> tuple[Token, ...]:
+    """Dynamically order RHS tokens at a node (Eqn. 8): ``NHʳ, Hʳ₁, Hʳ₂``.
+
+    ``Hʳ₂`` are homophily attributes whose LHS counterpart is already
+    enumerated in ``lhs_attributes``; they are placed *last* in the tail
+    list, which makes them enter the RHS *first* along any path of the
+    RIGHT subtree (a token's expandable tail is the prefix before it).
+
+    This is the Remark 2 fix: once an ``Hʳ₁``/``NHʳ`` value is on the
+    RHS, no ``Hʳ₂`` value can be added below it, so the β = ∅ → β ≠ ∅
+    flip can only happen while the RHS is still all-``Hʳ₂`` — and such a
+    GR is either trivial (exempt from nhp pruning) or already has β ≠ ∅.
+    """
+    lhs_set = set(lhs_attributes)
+    nh_r: list[Token] = []
+    h_r1: list[Token] = []
+    h_r2: list[Token] = []
+    for token in r_tokens:
+        if token.role != "R":
+            raise ValueError(f"dynamic_rhs_order got non-RHS token {token}")
+        if not schema.is_homophily(token.attr):
+            nh_r.append(token)
+        elif token.attr in lhs_set:
+            h_r2.append(token)
+        else:
+            h_r1.append(token)
+    return tuple(nh_r + h_r1 + h_r2)
+
+
+def iter_subsets_sfdf(tau: Sequence[Token]) -> list[tuple[Token, ...]]:
+    """Enumerate all subsets of ``tau`` in SFDF order (Fig. 3, static).
+
+    Returns the sequence of ``path(t)`` sets (as tuples in path order)
+    for every tree node, root excluded.  This mirrors the conceptual
+    tree: node for token ``tau[i]`` has tail ``tau[:i]``, children are
+    created per tail token in tail order, and the traversal is
+    depth-first visiting children in that order.
+
+    Used by tests to verify Property 2 (subsets before supersets) and
+    the at-most-once guarantee; the miner itself interleaves this walk
+    with data partitioning.
+    """
+    visited: list[tuple[Token, ...]] = []
+
+    def visit(path: tuple[Token, ...], tail: Sequence[Token]) -> None:
+        for i, token in enumerate(tail):
+            child_path = path + (token,)
+            visited.append(child_path)
+            visit(child_path, tail[:i])
+
+    visit((), tau)
+    return visited

@@ -1,0 +1,263 @@
+"""Alternative interestingness metrics (Section VII, Eqns. 10–14).
+
+The paper's framework accepts any metric expressible through the three
+supports ``supp(l -w-> r)``, ``supp(l ∧ w)`` and ``supp(r)``:
+
+* ``laplace``            — Eqn. (10); anti-monotone, minable by GRMiner
+  directly (``rank_by="laplace"``).
+* ``gain``               — Eqn. (11); anti-monotone, ``rank_by="gain"``.
+* ``piatetsky_shapiro``  — Eqn. (12); *not* anti-monotone in the RHS.
+* ``conviction``         — Eqn. (13); not anti-monotone.
+* ``lift``               — Eqn. (14); not anti-monotone.
+
+For the last three, "the top-k GRs have to be found in a post-processing
+step after finding all the GRs satisfying the threshold on support" —
+:class:`AlternativeMetricMiner` implements exactly that: a support-only
+sweep (BL2-style), then metric evaluation with ``supp(r)`` counted once
+per distinct RHS, then threshold/generality/top-k selection.
+
+All metric functions take *relative* supports in ``[0, 1]``; the
+conversion from the paper's mixed absolute/relative notation is noted on
+each function.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..data.network import SocialNetwork
+from .descriptors import GR, Descriptor
+from .metrics import GRMetrics, MetricEngine
+from .miner import GRMiner
+from .results import MinedGR, MiningResult
+
+__all__ = [
+    "laplace",
+    "gain",
+    "piatetsky_shapiro",
+    "conviction",
+    "lift",
+    "AlternativeMetrics",
+    "AlternativeMetricMiner",
+    "evaluate_alternatives",
+    "ANTI_MONOTONE_METRICS",
+    "POST_PROCESSED_METRICS",
+]
+
+#: Metrics GRMiner can push as thresholds (Section VII: "the
+#: anti-monotonicity remains valid").
+ANTI_MONOTONE_METRICS = ("laplace", "gain")
+#: Metrics requiring the support-sweep + post-processing strategy.
+POST_PROCESSED_METRICS = ("piatetsky_shapiro", "conviction", "lift")
+
+
+def laplace(supp: float, supp_lw: float, num_edges: int, k: int = 2) -> float:
+    """Laplace accuracy, Eqn. (10), on absolute counts.
+
+    ``(|E(l∧w∧r)| + 1) / (|E(l∧w)| + k)`` with integer ``k > 1``.
+    """
+    if k <= 1:
+        raise ValueError("laplace k must be an integer greater than 1")
+    return (supp * num_edges + 1) / (supp_lw * num_edges + k)
+
+
+def gain(supp: float, supp_lw: float, theta: float = 0.5) -> float:
+    """Gain, Eqn. (11): ``supp(l -w-> r) − θ · supp(l ∧ w)`` on relative supports."""
+    if not 0.0 <= theta <= 1.0:
+        raise ValueError("gain theta must be a fraction in [0, 1]")
+    return supp - theta * supp_lw
+
+
+def piatetsky_shapiro(supp: float, supp_lw: float, supp_r: float) -> float:
+    """Piatetsky-Shapiro leverage, Eqn. (12): ``supp − supp(l∧w)·supp(r)``.
+
+    The paper writes ``supp(l∧w) · supp(r) / |E|`` on absolute supports;
+    on relative supports the ``|E|`` cancels.
+    """
+    return supp - supp_lw * supp_r
+
+
+def conviction(conf: float, supp_r: float) -> float:
+    """Conviction, Eqn. (13): ``(1 − supp(r)) / (1 − conf)``.
+
+    Returns ``inf`` for a perfectly confident GR (the standard
+    convention for conviction's division by zero).
+    """
+    if conf >= 1.0:
+        return math.inf
+    return (1.0 - supp_r) / (1.0 - conf)
+
+
+def lift(conf: float, supp_r: float) -> float:
+    """Lift, Eqn. (14): ``conf / supp(r)``.
+
+    Values above 1 mean the LHS raises the probability of the RHS beyond
+    its base rate — the paper's antidote to data skewness like DBLP's
+    91% Poor-productivity population.
+    """
+    if supp_r <= 0.0:
+        return 0.0
+    return conf / supp_r
+
+
+@dataclass(frozen=True)
+class AlternativeMetrics:
+    """All Section VII metrics of one GR, alongside the base metrics."""
+
+    base: GRMetrics
+    supp_r: float
+    laplace: float
+    gain: float
+    piatetsky_shapiro: float
+    conviction: float
+    lift: float
+
+    @classmethod
+    def compute(
+        cls,
+        base: GRMetrics,
+        r_count: int,
+        laplace_k: int = 2,
+        gain_theta: float = 0.5,
+    ) -> "AlternativeMetrics":
+        num_edges = base.num_edges or 1
+        supp_r = r_count / num_edges
+        supp_lw = base.lw_count / num_edges
+        return cls(
+            base=base,
+            supp_r=supp_r,
+            laplace=laplace(base.support, supp_lw, num_edges, laplace_k),
+            gain=gain(base.support, supp_lw, gain_theta),
+            piatetsky_shapiro=piatetsky_shapiro(base.support, supp_lw, supp_r),
+            conviction=conviction(base.confidence, supp_r),
+            lift=lift(base.confidence, supp_r),
+        )
+
+    def value(self, metric: str) -> float:
+        try:
+            return getattr(self, metric)
+        except AttributeError:
+            raise ValueError(f"unknown metric {metric!r}") from None
+
+
+class AlternativeMetricMiner:
+    """Top-k GRs under a non-anti-monotone Section VII metric.
+
+    Strategy (as prescribed by the paper): mine every GR above
+    ``minSupp`` with support-only pruning, compute the metric per GR
+    (``supp(r)`` is evaluated once per distinct RHS), then select the
+    top k above ``min_score`` with the usual generality rule.
+
+    Parameters
+    ----------
+    metric:
+        One of ``"piatetsky_shapiro"``, ``"conviction"``, ``"lift"``
+        (for ``"laplace"``/``"gain"`` prefer ``GRMiner(rank_by=...)``,
+        which pushes the threshold; they are accepted here too for
+        comparison runs).
+    """
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        metric: str = "lift",
+        min_support: int | float = 1,
+        min_score: float = 0.0,
+        k: int | None = None,
+        node_attributes: Sequence[str] | None = None,
+        include_trivial: bool = False,
+        allow_empty_lhs: bool = False,
+        apply_generality: bool = True,
+        laplace_k: int = 2,
+        gain_theta: float = 0.5,
+    ) -> None:
+        if metric not in ANTI_MONOTONE_METRICS + POST_PROCESSED_METRICS:
+            raise ValueError(f"unknown metric {metric!r}")
+        self.network = network
+        self.metric = metric
+        self.min_support = min_support
+        self.min_score = float(min_score)
+        self.k = k
+        self.node_attributes = node_attributes
+        self.include_trivial = include_trivial
+        self.allow_empty_lhs = allow_empty_lhs
+        self.apply_generality = apply_generality
+        self.laplace_k = laplace_k
+        self.gain_theta = gain_theta
+
+    def mine(self) -> MiningResult:
+        start = time.perf_counter()
+        sweep = GRMiner(
+            self.network,
+            min_support=self.min_support,
+            min_score=0.0,
+            k=None,
+            rank_by="confidence",
+            push_topk=False,
+            push_score_pruning=False,
+            node_attributes=self.node_attributes,
+            include_trivial=self.include_trivial,
+            allow_empty_lhs=self.allow_empty_lhs,
+            apply_generality=False,
+        ).mine()
+
+        engine = MetricEngine(self.network)
+        r_count_cache: dict[Descriptor, int] = {}
+
+        def r_count(rhs: Descriptor) -> int:
+            cached = r_count_cache.get(rhs)
+            if cached is None:
+                cached = engine.rhs_support_count(rhs)
+                r_count_cache[rhs] = cached
+            return cached
+
+        qualifying: list[MinedGR] = []
+        for mined in sweep:
+            alt = AlternativeMetrics.compute(
+                mined.metrics,
+                r_count(mined.gr.rhs),
+                laplace_k=self.laplace_k,
+                gain_theta=self.gain_theta,
+            )
+            score = alt.value(self.metric)
+            if score < self.min_score:
+                continue
+            qualifying.append(MinedGR(gr=mined.gr, metrics=mined.metrics, score=score))
+
+        if self.apply_generality:
+            identities = {(m.gr.lhs, m.gr.edge, m.gr.rhs) for m in qualifying}
+            results = [
+                m
+                for m in qualifying
+                if not any(
+                    (g.lhs, g.edge, g.rhs) in identities for g in m.gr.generalizations()
+                )
+            ]
+        else:
+            results = qualifying
+        results.sort(key=lambda m: (-m.score, -m.metrics.support_count, m.gr.sort_key()))
+        if self.k is not None:
+            results = results[: self.k]
+
+        stats = sweep.stats
+        stats.candidates = len(qualifying)
+        stats.runtime_seconds = time.perf_counter() - start
+        return MiningResult(
+            grs=results,
+            stats=stats,
+            params={"metric": self.metric, "k": self.k, "min_score": self.min_score},
+        )
+
+
+def evaluate_alternatives(
+    network: SocialNetwork, gr: GR, laplace_k: int = 2, gain_theta: float = 0.5
+) -> AlternativeMetrics:
+    """Compute every Section VII metric of a single GR."""
+    engine = MetricEngine(network)
+    base = engine.evaluate(gr)
+    return AlternativeMetrics.compute(
+        base, engine.rhs_support_count(gr.rhs), laplace_k=laplace_k, gain_theta=gain_theta
+    )

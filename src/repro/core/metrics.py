@@ -1,0 +1,167 @@
+"""Support, confidence and non-homophily preference (Sections III-A/B).
+
+:class:`MetricEngine` evaluates GRs against a network with vectorized
+masks.  It is the semantic reference for the miners: whatever GRMiner
+counts incrementally must agree with these direct definitions —
+the equivalence is enforced by the test suite.
+
+Definitions implemented:
+
+* ``supp(l -w-> r) = |E(l ∧ w ∧ r)| / |E|``                      (Def. 2)
+* ``conf = supp(l -w-> r) / supp(l ∧ w)``                        (Def. 3)
+* ``nhp  = supp(l -w-> r) / (supp(l∧w) − supp(l -w-> l[β]))``    (Def. 4)
+
+with the Remark 1 conventions: ``supp(l -w-> l[β]) = 0`` when β = ∅ so
+that nhp degenerates to confidence, and nhp ≥ conf whenever β ≠ ∅.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.network import SocialNetwork
+from .descriptors import GR, Descriptor
+
+__all__ = ["GRMetrics", "MetricEngine"]
+
+
+@dataclass(frozen=True)
+class GRMetrics:
+    """All counts and ratios of one GR on one network.
+
+    Attributes
+    ----------
+    support_count:
+        ``|E(l ∧ w ∧ r)|``.
+    lw_count:
+        ``|E(l ∧ w)|``.
+    homophily_count:
+        ``|E(l ∧ w ∧ l[β])|`` — the edges explained by the homophily
+        effect; ``0`` when β = ∅.
+    num_edges:
+        ``|E|``.
+    beta:
+        The attribute names of β (Eqn. 4).
+    """
+
+    support_count: int
+    lw_count: int
+    homophily_count: int
+    num_edges: int
+    beta: tuple[str, ...] = ()
+
+    @property
+    def support(self) -> float:
+        """Relative support ``supp(l -w-> r)``."""
+        return self.support_count / self.num_edges if self.num_edges else 0.0
+
+    @property
+    def confidence(self) -> float:
+        """``conf(l -w-> r)``; 0 when no edge satisfies ``l ∧ w``."""
+        return self.support_count / self.lw_count if self.lw_count else 0.0
+
+    @property
+    def nhp(self) -> float:
+        """Non-homophily preference (Definition 4).
+
+        Theorem 1 guarantees the denominator is positive whenever
+        ``support_count > 0``; for the degenerate ``support_count = 0``
+        case we return 0, matching the GR2 example of the paper
+        (supp = 0, conf = 0).
+        """
+        denominator = self.lw_count - self.homophily_count
+        if denominator <= 0:
+            return 0.0
+        return self.support_count / denominator
+
+    def rank_key(self, gr: GR) -> tuple[float, float, str]:
+        """Sort key for Definition 5 ranking: nhp desc, supp desc, name asc.
+
+        Returned as a tuple to be used with ascending sort: negate the
+        numeric components.
+        """
+        return (-self.nhp, -self.support_count, gr.sort_key())
+
+
+class MetricEngine:
+    """Direct (definition-level) evaluation of GR metrics on a network."""
+
+    def __init__(self, network: SocialNetwork) -> None:
+        self.network = network
+        self.schema = network.schema
+        # Per-edge code columns resolved once; each is |E| ints.
+        self._source: dict[str, np.ndarray] = {}
+        self._dest: dict[str, np.ndarray] = {}
+        self._edge: dict[str, np.ndarray] = {}
+        for attr in self.schema.node_attributes:
+            self._source[attr.name] = network.source_values(attr.name)
+            self._dest[attr.name] = network.dest_values(attr.name)
+        for attr in self.schema.edge_attributes:
+            self._edge[attr.name] = network.edge_column(attr.name)
+
+    # ------------------------------------------------------------------
+    # Masks
+    # ------------------------------------------------------------------
+    def _descriptor_mask(
+        self, descriptor: Descriptor, columns: dict[str, np.ndarray], side: str
+    ) -> np.ndarray:
+        mask = np.ones(self.network.num_edges, dtype=bool)
+        for name, value in descriptor.items:
+            if name not in columns:
+                raise KeyError(f"{side} descriptor uses unknown attribute {name!r}")
+            attr = self.schema.attribute(name)
+            mask &= columns[name] == attr.code(value)
+        return mask
+
+    def lhs_mask(self, descriptor: Descriptor) -> np.ndarray:
+        """Edges whose *source* satisfies the descriptor."""
+        return self._descriptor_mask(descriptor, self._source, "LHS")
+
+    def rhs_mask(self, descriptor: Descriptor) -> np.ndarray:
+        """Edges whose *destination* satisfies the descriptor."""
+        return self._descriptor_mask(descriptor, self._dest, "RHS")
+
+    def edge_mask(self, descriptor: Descriptor) -> np.ndarray:
+        """Edges satisfying the edge descriptor."""
+        return self._descriptor_mask(descriptor, self._edge, "edge")
+
+    # ------------------------------------------------------------------
+    # Counts and metrics
+    # ------------------------------------------------------------------
+    def count(self, lhs: Descriptor, edge: Descriptor, rhs: Descriptor) -> int:
+        """``|E(l ∧ w ∧ r)|`` with any of the three descriptors possibly empty."""
+        mask = self.lhs_mask(lhs) & self.edge_mask(edge) & self.rhs_mask(rhs)
+        return int(mask.sum())
+
+    def rhs_support_count(self, rhs: Descriptor) -> int:
+        """``|E(r)|`` — edges whose destination satisfies ``r`` (Section VII)."""
+        return int(self.rhs_mask(rhs).sum())
+
+    def evaluate(self, gr: GR) -> GRMetrics:
+        """Compute every Definition 2–4 quantity for ``gr``."""
+        lw_mask = self.lhs_mask(gr.lhs) & self.edge_mask(gr.edge)
+        support_count = int((lw_mask & self.rhs_mask(gr.rhs)).sum())
+        beta = gr.beta(self.schema)
+        if beta:
+            hom_rhs = gr.homophily_effect_rhs(self.schema)
+            homophily_count = int((lw_mask & self.rhs_mask(hom_rhs)).sum())
+        else:
+            homophily_count = 0
+        return GRMetrics(
+            support_count=support_count,
+            lw_count=int(lw_mask.sum()),
+            homophily_count=homophily_count,
+            num_edges=self.network.num_edges,
+            beta=beta,
+        )
+
+    def support(self, gr: GR) -> float:
+        return self.evaluate(gr).support
+
+    def confidence(self, gr: GR) -> float:
+        return self.evaluate(gr).confidence
+
+    def nhp(self, gr: GR) -> float:
+        return self.evaluate(gr).nhp

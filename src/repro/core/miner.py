@@ -1,0 +1,543 @@
+"""GRMiner — top-k group-relationship mining (Algorithm 1, Sections IV–V).
+
+The miner walks the SFDF enumeration tree, partitioning edge sets with
+counting-sort style grouping, exactly mirroring the three recursive
+procedures of Algorithm 1:
+
+* ``LEFT``  — extend the LHS by one source-node attribute value;
+* ``EDGE``  — extend the edge descriptor by one edge attribute value;
+* ``RIGHT`` — extend the RHS by one destination-node attribute value,
+  compute supp/conf/nhp, maintain the top-k list, and prune.
+
+Pruning rules (Theorems 2 and 3):
+
+* every partition below ``minSupp`` is discarded (support
+  anti-monotonicity, Theorem 2(1));
+* a RIGHT subtree is cut when the node's score is below the (possibly
+  dynamically upgraded) threshold *and* anti-monotonicity holds below
+  the node.  With the dynamic RHS ordering of Eqn. (8) that is every
+  non-trivial node (Theorem 3); the implementation uses the exact
+  criterion — no ``Hʳ₂`` token left in the node's tail or β ≠ ∅ — which
+  also keeps the miner correct when dynamic ordering is disabled for
+  ablation studies (Remark 2's failure mode).
+
+Two published variants are exposed through ``push_topk``:
+``GRMiner(k)`` upgrades ``minNhp`` to the k-th best score on the fly
+(line 28); plain ``GRMiner`` pushes only the user thresholds and
+truncates to k at the end.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..data.network import SocialNetwork
+from ..data.store import CompactStore
+from ..sortutil.counting_sort import partition_by_value
+from .descriptors import GR, Descriptor
+from .enumeration import Token, dynamic_rhs_order, static_tau
+from .metrics import GRMetrics
+from .results import MiningResult, MiningStats
+from .topk import GeneralityIndex, TopKCollector
+
+__all__ = ["GRMiner", "mine_top_k"]
+
+
+@dataclass
+class _LWContext:
+    """State shared by all RIGHT nodes under one ``l ∧ w`` node."""
+
+    edges: np.ndarray
+    l_map: dict[str, int]
+    w_map: dict[str, int]
+    lw_count: int
+    #: Cache of homophily-effect counts ``supp(l -w-> l[β])`` keyed by β.
+    hom_cache: dict[tuple[str, ...], int] = field(default_factory=dict)
+
+
+class GRMiner:
+    """Mine top-k group relationships from a social network.
+
+    Parameters
+    ----------
+    network:
+        The attributed network.  Its schema designates the homophily
+        attributes (Section III-B).
+    min_support:
+        ``minSupp``.  An ``int`` is an absolute edge count; a ``float``
+        in ``(0, 1)`` is a fraction of ``|E|`` as in Definition 2.
+    min_score:
+        ``minNhp`` (or ``minConf`` when ranking by confidence).
+    k:
+        Result size; ``None`` returns every qualifying GR.
+    rank_by:
+        ``"nhp"`` (the paper's metric), ``"confidence"`` (the Table II
+        comparison ranking), or one of the anti-monotone Section VII
+        alternatives ``"laplace"`` / ``"gain"`` (Eqns. 10–11), which the
+        paper notes can replace nhp with the same pruning machinery.
+        The non-anti-monotone alternatives (Piatetsky-Shapiro,
+        conviction, lift) are served by
+        :class:`repro.core.interestingness.AlternativeMetricMiner`.
+    push_topk:
+        When true and ``k`` is set, run GRMiner(k): dynamically upgrade
+        the score threshold to the k-th best found (Algorithm 1 line 28).
+        When false, run plain GRMiner: push only the user thresholds.
+    push_score_pruning:
+        Enable Theorem 3 pruning.  Disabling it leaves only support
+        pruning (the BL2 search strategy) — used by ablation benches.
+    dynamic_rhs_ordering:
+        Enable the Eqn. (8) ordering.  Disabling reverts to the static τ
+        and therefore to fewer prunable RIGHT nodes (Remark 2).
+    node_attributes:
+        Restrict the search space to these node attributes (the Fig. 4d
+        dimensionality sweeps mine prefixes of the attribute list).
+    include_trivial:
+        Admit trivial GRs as results.  Defaults to ``False`` for nhp
+        ranking (the paper mines *non-trivial* GRs) and ``True`` for
+        confidence ranking (Table II's conf column keeps homophilic GRs).
+    allow_empty_lhs:
+        Admit GRs with an empty LHS.  Off by default; see DESIGN.md §5.
+    max_lhs_attrs, max_rhs_attrs, max_edge_attrs:
+        Optional caps on descriptor lengths — practical guards for very
+        high-dimensional schemas; ``None`` means unbounded.
+    verify_generality:
+        Only meaningful for GRMiner(k).  The published dynamic-threshold
+        upgrade can prune a subtree containing a *generality blocker*
+        whose score lies between the user threshold and the current k-th
+        best, letting a redundant specialization into the result
+        (DESIGN.md §5.5).  With this flag (default) the final top-k list
+        is re-verified by direct evaluation of each entry's
+        generalizations — at most ``k · 2^(|l|+|w|)`` metric queries —
+        and blocked entries are dropped (the list may then hold fewer
+        than k GRs).  Set ``push_topk=False`` for fully exact Definition
+        5 semantics.
+    """
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        min_support: int | float = 1,
+        min_score: float = 0.0,
+        k: int | None = None,
+        rank_by: str = "nhp",
+        push_topk: bool = True,
+        push_score_pruning: bool = True,
+        dynamic_rhs_ordering: bool = True,
+        node_attributes: Sequence[str] | None = None,
+        include_trivial: bool | None = None,
+        allow_empty_lhs: bool = False,
+        max_lhs_attrs: int | None = None,
+        max_rhs_attrs: int | None = None,
+        max_edge_attrs: int | None = None,
+        apply_generality: bool = True,
+        laplace_k: int = 2,
+        gain_theta: float = 0.5,
+        verify_generality: bool = True,
+    ) -> None:
+        if rank_by not in ("nhp", "confidence", "laplace", "gain"):
+            raise ValueError(
+                f"rank_by must be one of 'nhp', 'confidence', 'laplace', 'gain'; "
+                f"got {rank_by!r}"
+            )
+        if rank_by != "gain" and not 0.0 <= min_score <= 1.0:
+            raise ValueError("min_score must be in [0, 1]")
+        if laplace_k <= 1:
+            raise ValueError("laplace_k must be an integer greater than 1 (Eqn. 10)")
+        if not 0.0 <= gain_theta <= 1.0:
+            raise ValueError("gain_theta must be a fraction in [0, 1] (Eqn. 11)")
+        self.network = network
+        self.schema = network.schema
+        self.store = CompactStore(network)
+        self.min_support = min_support
+        self.abs_min_support = self._absolute_support(min_support, network.num_edges)
+        self.min_score = float(min_score)
+        self.k = k
+        self.rank_by = rank_by
+        self.push_topk = push_topk
+        self.push_score_pruning = push_score_pruning
+        self.dynamic_rhs_ordering = dynamic_rhs_ordering
+        self.node_attributes = (
+            tuple(node_attributes)
+            if node_attributes is not None
+            else self.schema.node_attribute_names
+        )
+        if include_trivial is None:
+            include_trivial = rank_by != "nhp"
+        self.include_trivial = include_trivial
+        self.allow_empty_lhs = allow_empty_lhs
+        self.max_lhs_attrs = max_lhs_attrs
+        self.max_rhs_attrs = max_rhs_attrs
+        self.max_edge_attrs = max_edge_attrs
+        self.apply_generality = apply_generality
+        self.laplace_k = laplace_k
+        self.gain_theta = gain_theta
+        self.verify_generality = verify_generality
+
+        self._homophily = {
+            name: self.schema.is_homophily(name) for name in self.node_attributes
+        }
+        self._domain = {
+            name: self.schema.attribute(name).domain_size
+            for name in list(self.node_attributes) + list(self.schema.edge_attribute_names)
+        }
+        # Per-edge code columns resolved once through the compact store's
+        # pointer structure (EArray order).
+        self._src_cols = {n: self.store.source_codes(n) for n in self.node_attributes}
+        self._dst_cols = {n: self.store.dest_codes(n) for n in self.node_attributes}
+        self._edge_cols = {n: self.store.edge_codes(n) for n in self.schema.edge_attribute_names}
+
+    @staticmethod
+    def _absolute_support(min_support: int | float, num_edges: int) -> int:
+        """Translate ``minSupp`` to an absolute edge count (at least 1)."""
+        if isinstance(min_support, bool):
+            raise ValueError("min_support must be a number")
+        if isinstance(min_support, int):
+            if min_support < 0:
+                raise ValueError("min_support must be non-negative")
+            return max(1, min_support)
+        if not 0.0 <= min_support <= 1.0:
+            raise ValueError("fractional min_support must be in [0, 1]")
+        return max(1, int(math.ceil(min_support * num_edges - 1e-9)))
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def mine(self) -> MiningResult:
+        """Run Algorithm 1 and return the ranked result."""
+        start = time.perf_counter()
+        self._stats = MiningStats()
+        self._collector = TopKCollector(
+            k=self.k if self.push_topk else None, min_score=self.min_score
+        )
+        self._index = GeneralityIndex()
+
+        tau = static_tau(self.schema, self.node_attributes)
+        edges = self.store.all_edges()
+        # Main (lines 2-5): RIGHT, EDGE, LEFT on the full data.  The
+        # root RIGHT/EDGE subtrees only contain empty-LHS GRs; they are
+        # skipped unless such GRs are admissible (DESIGN.md §5.4).
+        if self.allow_empty_lhs:
+            self._enter_right(edges, tau, l_map={}, w_map={})
+            self._edge(edges, tau, l_map={}, w_map={})
+        self._left(edges, tau, l_map={})
+
+        results = self._collector.results()
+        if self.k is not None and not self.push_topk:
+            results = results[: self.k]
+        elif (
+            self.k is not None
+            and self.apply_generality
+            and self.verify_generality
+        ):
+            results = self._verify_generality(results)
+        self._stats.runtime_seconds = time.perf_counter() - start
+        return MiningResult(grs=results, stats=self._stats, params=self._params())
+
+    def _verify_generality(self, results: list) -> list:
+        """Drop top-k entries whose generalization qualifies (DESIGN §5.5).
+
+        GRMiner(k)'s dynamic threshold may have pruned the node where a
+        blocker would have been examined; this post-pass re-checks each
+        surviving entry against Definition 5(2) by direct evaluation.
+        """
+        from .metrics import MetricEngine  # local import to avoid cycle cost
+
+        engine = MetricEngine(self.network)
+        verified = []
+        for mined in results:
+            blocked = False
+            for general in mined.gr.generalizations():
+                if not general.lhs and not self.allow_empty_lhs:
+                    continue
+                if general.is_trivial(self.schema) and not self.include_trivial:
+                    continue
+                metrics = engine.evaluate(general)
+                if metrics.support_count < self.abs_min_support:
+                    continue
+                if self._score(metrics) >= self.min_score:
+                    blocked = True
+                    break
+            if blocked:
+                self._stats.pruned_by_generality += 1
+            else:
+                verified.append(mined)
+        return verified
+
+    def _params(self) -> dict:
+        return {
+            "min_support": self.min_support,
+            "abs_min_support": self.abs_min_support,
+            "min_score": self.min_score,
+            "k": self.k,
+            "rank_by": self.rank_by,
+            "push_topk": self.push_topk,
+            "push_score_pruning": self.push_score_pruning,
+            "dynamic_rhs_ordering": self.dynamic_rhs_ordering,
+            "node_attributes": self.node_attributes,
+            "include_trivial": self.include_trivial,
+            "allow_empty_lhs": self.allow_empty_lhs,
+            "apply_generality": self.apply_generality,
+        }
+
+    # ------------------------------------------------------------------
+    # LEFT / EDGE (Algorithm 1 lines 7-21)
+    # ------------------------------------------------------------------
+    def _left(self, edges: np.ndarray, tail: tuple[Token, ...], l_map: dict[str, int]) -> None:
+        if self.max_lhs_attrs is not None and len(l_map) >= self.max_lhs_attrs:
+            return
+        for i, token in enumerate(tail):
+            if token.role != "L":
+                continue
+            child_tail = tail[:i]
+            keys = self._src_cols[token.attr][edges]
+            for value, subset in partition_by_value(edges, keys, self._domain[token.attr]):
+                if subset.size < self.abs_min_support:
+                    self._stats.pruned_by_support += 1
+                    continue
+                new_l = dict(l_map)
+                new_l[token.attr] = value
+                self._stats.lw_nodes += 1
+                self._enter_right(subset, child_tail, new_l, w_map={})
+                self._edge(subset, child_tail, new_l, w_map={})
+                self._left(subset, child_tail, new_l)
+
+    def _edge(
+        self,
+        edges: np.ndarray,
+        tail: tuple[Token, ...],
+        l_map: dict[str, int],
+        w_map: dict[str, int],
+    ) -> None:
+        if self.max_edge_attrs is not None and len(w_map) >= self.max_edge_attrs:
+            return
+        for i, token in enumerate(tail):
+            if token.role != "W":
+                continue
+            child_tail = tail[:i]
+            keys = self._edge_cols[token.attr][edges]
+            for value, subset in partition_by_value(edges, keys, self._domain[token.attr]):
+                if subset.size < self.abs_min_support:
+                    self._stats.pruned_by_support += 1
+                    continue
+                new_w = dict(w_map)
+                new_w[token.attr] = value
+                self._stats.lw_nodes += 1
+                self._enter_right(subset, child_tail, l_map, new_w)
+                self._edge(subset, child_tail, l_map, new_w)
+
+    # ------------------------------------------------------------------
+    # RIGHT (Algorithm 1 lines 22-29)
+    # ------------------------------------------------------------------
+    def _enter_right(
+        self,
+        edges: np.ndarray,
+        tail: tuple[Token, ...],
+        l_map: dict[str, int],
+        w_map: dict[str, int],
+    ) -> None:
+        if not l_map and not self.allow_empty_lhs:
+            return
+        r_tokens = tuple(t for t in tail if t.role == "R")
+        if self.dynamic_rhs_ordering:
+            r_tokens = dynamic_rhs_order(r_tokens, l_map, self.schema)
+        context = _LWContext(
+            edges=edges, l_map=l_map, w_map=w_map, lw_count=int(edges.size)
+        )
+        self._right(edges, r_tokens, context, r_map={})
+
+    def _right(
+        self,
+        edges: np.ndarray,
+        r_tail: tuple[Token, ...],
+        context: _LWContext,
+        r_map: dict[str, int],
+    ) -> None:
+        if self.max_rhs_attrs is not None and len(r_map) >= self.max_rhs_attrs:
+            return
+        for i, token in enumerate(r_tail):
+            child_tail = r_tail[:i]
+            keys = self._dst_cols[token.attr][edges]
+            for value, subset in partition_by_value(edges, keys, self._domain[token.attr]):
+                self._stats.grs_examined += 1
+                if subset.size < self.abs_min_support:
+                    self._stats.pruned_by_support += 1
+                    continue
+                new_r = dict(r_map)
+                new_r[token.attr] = value
+                metrics, trivial = self._evaluate(context, new_r, int(subset.size))
+                score = self._score(metrics)
+                self._consider(context, new_r, metrics, trivial, score)
+                if self._should_prune(context, metrics.beta, score, child_tail):
+                    self._stats.pruned_by_nhp += 1
+                    continue
+                self._right(subset, child_tail, context, new_r)
+
+    def _score(self, metrics: GRMetrics) -> float:
+        """The ranking metric's value (Definitions 3–4, Eqns. 10–11)."""
+        if self.rank_by == "nhp":
+            return metrics.nhp
+        if self.rank_by == "confidence":
+            return metrics.confidence
+        if self.rank_by == "laplace":
+            return (metrics.support_count + 1) / (metrics.lw_count + self.laplace_k)
+        # gain, on relative supports: supp(g) − θ · supp(l ∧ w).
+        num_edges = metrics.num_edges or 1
+        return (metrics.support_count - self.gain_theta * metrics.lw_count) / num_edges
+
+    # ------------------------------------------------------------------
+    # Metrics at a RIGHT node (Section IV-D)
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self, context: _LWContext, r_map: dict[str, int], support_count: int
+    ) -> tuple[GRMetrics, bool]:
+        l_map = context.l_map
+        beta = tuple(
+            sorted(
+                name
+                for name, value in r_map.items()
+                if self._homophily[name] and name in l_map and l_map[name] != value
+            )
+        )
+        homophily_count = self._homophily_count(context, beta) if beta else 0
+        trivial = all(
+            self._homophily[name] and l_map.get(name) == value
+            for name, value in r_map.items()
+        )
+        metrics = GRMetrics(
+            support_count=support_count,
+            lw_count=context.lw_count,
+            homophily_count=homophily_count,
+            num_edges=self.network.num_edges,
+            beta=beta,
+        )
+        return metrics, trivial
+
+    def _homophily_count(self, context: _LWContext, beta: tuple[str, ...]) -> int:
+        """``supp(l -w-> l[β])`` within the context's edge set, cached by β.
+
+        Case 1 of Section IV-D (β ⊂ R) reuses a previously cached count;
+        Case 2 (β = R) computes it at the current node — both land here
+        because the cache lives on the ``l ∧ w`` context.
+        """
+        cached = context.hom_cache.get(beta)
+        if cached is not None:
+            return cached
+        mask = np.ones(context.edges.size, dtype=bool)
+        for name in beta:
+            mask &= self._dst_cols[name][context.edges] == context.l_map[name]
+        count = int(mask.sum())
+        context.hom_cache[beta] = count
+        return count
+
+    # ------------------------------------------------------------------
+    # Candidate handling (lines 25-28) and pruning
+    # ------------------------------------------------------------------
+    def _consider(
+        self,
+        context: _LWContext,
+        r_map: dict[str, int],
+        metrics: GRMetrics,
+        trivial: bool,
+        score: float,
+    ) -> None:
+        if trivial and not self.include_trivial:
+            return
+        if not context.l_map and not self.allow_empty_lhs:
+            return
+        if score < self.min_score:
+            return
+        if self.apply_generality:
+            l_key = tuple(sorted(context.l_map.items()))
+            w_key = tuple(sorted(context.w_map.items()))
+            r_key = tuple(sorted(r_map.items()))
+            if self._index.is_blocked(l_key, w_key, r_key):
+                self._stats.pruned_by_generality += 1
+                return
+            # Every GR satisfying conditions (1) and (2) enters the index
+            # — including ones the dynamic top-k threshold will not admit
+            # — so that later, more special GRs are still recognized as
+            # redundant (DESIGN.md §5.5).
+            self._index.add(l_key, w_key, r_key)
+        self._stats.candidates += 1
+        if self._collector.would_admit(score):
+            self._collector.offer(self._decode(context, r_map), metrics, score)
+
+    def _should_prune(
+        self,
+        context: _LWContext,
+        beta: tuple[str, ...],
+        score: float,
+        child_tail: tuple[Token, ...],
+    ) -> bool:
+        """Cut the RIGHT subtree when the score bound justifies it.
+
+        Confidence is anti-monotone under any RHS extension.  nhp is
+        anti-monotone below this node iff β ≠ ∅ already (Theorem 2(2))
+        or no remaining tail token can flip β — i.e. no homophily
+        attribute that also occurs in the LHS (``Hʳ₂``) is left in the
+        tail (Theorem 2(3) / Theorem 3).  With dynamic ordering this
+        accepts every non-trivial node, reproducing Theorem 3; without
+        it, fewer nodes qualify (the Remark 2 ablation).
+        """
+        if not self.push_score_pruning:
+            return False
+        threshold = self._collector.effective_threshold
+        if score >= threshold:
+            return False
+        if self.rank_by != "nhp":
+            # confidence, laplace and gain are anti-monotone under any
+            # RHS extension (Section VII: "the anti-monotonicity remains
+            # valid"), so the subtree can always be cut.
+            return True
+        if beta:
+            return True
+        can_flip = any(
+            self._homophily[token.attr] and token.attr in context.l_map
+            for token in child_tail
+        )
+        return not can_flip
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def _decode(self, context: _LWContext, r_map: dict[str, int]) -> GR:
+        def decode_node(mapping: dict[str, int]) -> Descriptor:
+            return Descriptor(
+                tuple(
+                    (name, self.schema.node_attribute(name).label(code))
+                    for name, code in mapping.items()
+                )
+            )
+
+        edge_descriptor = Descriptor(
+            tuple(
+                (name, self.schema.edge_attribute(name).label(code))
+                for name, code in context.w_map.items()
+            )
+        )
+        return GR(decode_node(context.l_map), decode_node(r_map), edge_descriptor)
+
+
+def mine_top_k(
+    network: SocialNetwork,
+    k: int = 10,
+    min_support: int | float = 1,
+    min_nhp: float = 0.0,
+    **kwargs,
+) -> MiningResult:
+    """Convenience wrapper: run GRMiner(k) with the paper's defaults.
+
+    Examples
+    --------
+    >>> from repro.datasets.toy import toy_dating_network
+    >>> result = mine_top_k(toy_dating_network(), k=5, min_support=2, min_nhp=0.5)
+    >>> len(result) <= 5
+    True
+    """
+    miner = GRMiner(network, min_support=min_support, min_score=min_nhp, k=k, **kwargs)
+    return miner.mine()

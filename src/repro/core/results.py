@@ -1,0 +1,94 @@
+"""Result containers for mining runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .descriptors import GR
+from .metrics import GRMetrics
+
+__all__ = ["MinedGR", "MiningStats", "MiningResult"]
+
+
+@dataclass(frozen=True)
+class MinedGR:
+    """One mined GR together with its metrics and ranking score."""
+
+    gr: GR
+    metrics: GRMetrics
+    score: float
+
+    def __str__(self) -> str:
+        m = self.metrics
+        return (
+            f"{self.gr}  [score={self.score:.4f} nhp={m.nhp:.4f} "
+            f"conf={m.confidence:.4f} supp={m.support_count}]"
+        )
+
+
+@dataclass
+class MiningStats:
+    """Search-effort counters; the currency of the Fig. 4 comparisons."""
+
+    lw_nodes: int = 0
+    #: RIGHT-tree nodes visited, i.e. GRs whose metrics were computed.
+    grs_examined: int = 0
+    #: Non-trivial GRs that passed minSupp and (user) minNhp.
+    candidates: int = 0
+    #: Partitions discarded by the support threshold.
+    pruned_by_support: int = 0
+    #: RIGHT subtrees cut by the nhp threshold (Theorem 3 pruning).
+    pruned_by_nhp: int = 0
+    #: Candidates rejected because a more general GR was already accepted.
+    pruned_by_generality: int = 0
+    #: Wall-clock runtime of the mining call, in seconds.
+    runtime_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "lw_nodes": self.lw_nodes,
+            "grs_examined": self.grs_examined,
+            "candidates": self.candidates,
+            "pruned_by_support": self.pruned_by_support,
+            "pruned_by_nhp": self.pruned_by_nhp,
+            "pruned_by_generality": self.pruned_by_generality,
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+
+@dataclass
+class MiningResult:
+    """Ranked GRs plus search statistics.
+
+    ``grs`` is sorted by the Definition 5 rank: score descending, then
+    support descending, then the GR's canonical string ascending.
+    """
+
+    grs: list[MinedGR]
+    stats: MiningStats = field(default_factory=MiningStats)
+    params: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.grs)
+
+    def __iter__(self) -> Iterator[MinedGR]:
+        return iter(self.grs)
+
+    def __getitem__(self, index: int) -> MinedGR:
+        return self.grs[index]
+
+    def top(self, n: int) -> list[MinedGR]:
+        return self.grs[:n]
+
+    def find(self, gr: GR) -> MinedGR | None:
+        """Locate a specific GR in the result, if present."""
+        for mined in self.grs:
+            if mined.gr == gr:
+                return mined
+        return None
+
+    def __str__(self) -> str:
+        lines = [f"MiningResult({len(self.grs)} GRs, {self.stats.runtime_seconds:.3f}s)"]
+        lines += [f"  {i + 1:3d}. {mined}" for i, mined in enumerate(self.grs)]
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Top-k collection with dynamic threshold upgrade and generality index.
+
+Implements the bookkeeping of Definition 5 and Algorithm 1 lines 27–28:
+
+* ranking by score (nhp, or confidence for the baseline ranking), then
+  support, then the alphabetical order of the GR's canonical string;
+* the *generality index* enforcing condition (2): a candidate is rejected
+  when a strictly more general non-trivial GR already passed condition
+  (1).  Thanks to SFDF's Property 2 every potential blocker is examined
+  before the GRs it blocks, so a single forward pass suffices;
+* the dynamic ``minNhp`` upgrade of GRMiner(k): once k GRs are held, the
+  score of the weakest one becomes the effective pruning threshold.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+from .descriptors import GR
+from .metrics import GRMetrics
+from .results import MinedGR
+
+__all__ = ["TopKCollector", "GeneralityIndex"]
+
+#: Internal identity of a descriptor: sorted (attr, code) pairs.
+DescriptorKey = tuple[tuple[str, int], ...]
+
+
+class GeneralityIndex:
+    """Index of GRs satisfying condition (1), keyed by their RHS.
+
+    Checking a candidate enumerates the proper sub-selections of its
+    LHS ∧ edge conditions (``2^(|l|+|w|) − 1`` membership probes against
+    a hash set) — cheap because descriptors are short.  Only maximally
+    general entries need to be stored: blocking is transitive, so a
+    redundant GR never blocks anything its own blocker would not.
+    """
+
+    def __init__(self) -> None:
+        self._by_rhs: dict[DescriptorKey, set[tuple[DescriptorKey, DescriptorKey]]] = {}
+
+    @staticmethod
+    def _lw_subselections(
+        l_key: DescriptorKey, w_key: DescriptorKey
+    ) -> Iterable[tuple[DescriptorKey, DescriptorKey]]:
+        items = [("L", item) for item in l_key] + [("W", item) for item in w_key]
+        n = len(items)
+        for mask in range((1 << n) - 1):  # proper subsets only
+            l_sel = tuple(it for j, (role, it) in enumerate(items) if mask >> j & 1 and role == "L")
+            w_sel = tuple(it for j, (role, it) in enumerate(items) if mask >> j & 1 and role == "W")
+            yield l_sel, w_sel
+
+    def is_blocked(self, l_key: DescriptorKey, w_key: DescriptorKey, r_key: DescriptorKey) -> bool:
+        """Whether a strictly more general GR with the same RHS is indexed."""
+        entries = self._by_rhs.get(r_key)
+        if not entries:
+            return False
+        return any(sub in entries for sub in self._lw_subselections(l_key, w_key))
+
+    def add(self, l_key: DescriptorKey, w_key: DescriptorKey, r_key: DescriptorKey) -> None:
+        self._by_rhs.setdefault(r_key, set()).add((l_key, w_key))
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_rhs.values())
+
+
+class TopKCollector:
+    """Maintains the best k GRs seen so far, in Definition 5 rank order.
+
+    Parameters
+    ----------
+    k:
+        Result size; ``None`` collects every qualifying GR (the plain
+        GRMiner of Section VI-D, whose results are top-k-truncated only
+        at the end).
+    min_score:
+        The user's minNhp (or minConf) — condition (1)'s threshold.
+    """
+
+    def __init__(self, k: int | None, min_score: float) -> None:
+        if k is not None and k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.min_score = float(min_score)
+        self._keys: list[tuple[float, float, str]] = []  # ascending rank keys
+        self._entries: list[MinedGR] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_threshold(self) -> float:
+        """Current pruning threshold: the dynamic minNhp of GRMiner(k).
+
+        Equals the user threshold until k results are held, then the
+        score of the k-th best (line 28 of Algorithm 1).
+        """
+        if self.k is not None and len(self._entries) >= self.k:
+            return max(self.min_score, self._entries[-1].score)
+        return self.min_score
+
+    def would_admit(self, score: float) -> bool:
+        """Whether a GR with this score could enter the current top-k."""
+        if score < self.min_score:
+            return False
+        if self.k is None or len(self._entries) < self.k:
+            return True
+        return score >= self._entries[-1].score
+
+    def offer(self, gr: GR, metrics: GRMetrics, score: float) -> bool:
+        """Insert a qualifying GR; returns whether it was kept.
+
+        The caller is responsible for condition (1) (thresholds) and
+        condition (2) (generality); this method only ranks and truncates.
+        """
+        key = (-score, -metrics.support_count, gr.sort_key())
+        position = bisect.bisect_left(self._keys, key)
+        if self.k is not None and position >= self.k:
+            return False
+        self._keys.insert(position, key)
+        self._entries.insert(position, MinedGR(gr=gr, metrics=metrics, score=score))
+        if self.k is not None and len(self._entries) > self.k:
+            self._keys.pop()
+            self._entries.pop()
+        return True
+
+    def results(self) -> list[MinedGR]:
+        """The collected GRs in rank order."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

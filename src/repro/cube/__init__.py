@@ -1,0 +1,5 @@
+"""Iceberg-cube substrate: the BUC algorithm the paper's baselines use."""
+
+from .buc import BUC, Cell, iceberg_cube
+
+__all__ = ["BUC", "Cell", "iceberg_cube"]

@@ -1,0 +1,20 @@
+"""Data substrate: schemas, networks, and the two storage models."""
+
+from .edgetable import EdgeTable, lhs_column, rhs_column, split_column
+from .network import NetworkError, SocialNetwork
+from .schema import NULL, Attribute, Schema, SchemaError
+from .store import CompactStore
+
+__all__ = [
+    "Attribute",
+    "CompactStore",
+    "EdgeTable",
+    "NetworkError",
+    "NULL",
+    "Schema",
+    "SchemaError",
+    "SocialNetwork",
+    "lhs_column",
+    "rhs_column",
+    "split_column",
+]

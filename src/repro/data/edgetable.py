@@ -1,0 +1,83 @@
+"""Single-table materialization of a social network (the BL1 layout).
+
+The paper's Section IV intro describes the storage model frequent-set
+miners need: "collecting all information in one table ... replicating the
+node information for every edge adjacent to the node", of size
+``|E| * (2*#AttrV + #AttrE)``.  BL1 (Section VI-D) mines this table with
+the BUC algorithm.
+
+:class:`EdgeTable` materializes that joined table.  Columns are named with
+the paper's superscript convention: node attribute ``A`` appears as
+``A^l`` (value at the edge source) and ``A^r`` (value at the edge
+destination); edge attributes keep their name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .network import SocialNetwork
+
+__all__ = ["EdgeTable", "lhs_column", "rhs_column", "split_column"]
+
+_LHS_SUFFIX = "^l"
+_RHS_SUFFIX = "^r"
+
+
+def lhs_column(attr_name: str) -> str:
+    """Column name of node attribute ``attr_name`` at the edge source."""
+    return attr_name + _LHS_SUFFIX
+
+
+def rhs_column(attr_name: str) -> str:
+    """Column name of node attribute ``attr_name`` at the edge destination."""
+    return attr_name + _RHS_SUFFIX
+
+
+def split_column(column: str) -> tuple[str, str]:
+    """Split a column name into ``(attribute, role)``.
+
+    ``role`` is ``"L"`` for source columns, ``"R"`` for destination
+    columns and ``"W"`` for edge-attribute columns.
+    """
+    if column.endswith(_LHS_SUFFIX):
+        return column[: -len(_LHS_SUFFIX)], "L"
+    if column.endswith(_RHS_SUFFIX):
+        return column[: -len(_RHS_SUFFIX)], "R"
+    return column, "W"
+
+
+class EdgeTable:
+    """Joined per-edge table with replicated endpoint attributes."""
+
+    def __init__(self, network: SocialNetwork) -> None:
+        self.network = network
+        schema = network.schema
+        self.columns: dict[str, np.ndarray] = {}
+        self.domain_sizes: dict[str, int] = {}
+        for attr in schema.node_attributes:
+            self.columns[lhs_column(attr.name)] = network.source_values(attr.name)
+            self.columns[rhs_column(attr.name)] = network.dest_values(attr.name)
+            self.domain_sizes[lhs_column(attr.name)] = attr.domain_size
+            self.domain_sizes[rhs_column(attr.name)] = attr.domain_size
+        for attr in schema.edge_attributes:
+            self.columns[attr.name] = network.edge_column(attr.name)
+            self.domain_sizes[attr.name] = attr.domain_size
+
+    @property
+    def num_rows(self) -> int:
+        return self.network.num_edges
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def size_cells(self) -> int:
+        """Total cells, ``|E| * (2*#AttrV + #AttrE)``."""
+        return self.num_rows * len(self.columns)
+
+    def __repr__(self) -> str:
+        return f"EdgeTable(rows={self.num_rows}, columns={len(self.columns)})"

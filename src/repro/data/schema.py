@@ -1,0 +1,311 @@
+"""Attribute schema for multidimensional social networks.
+
+The paper (Section III) models every node and edge attribute ``A`` as a
+discrete domain ``{0, 1, ..., |A|}`` where ``0`` is the null value.  Each
+attribute is additionally designated *homophily* or *non-homophily*
+(Section III-B): homophily attributes are those on which individuals
+sharing a value are expected to connect at a higher rate, and the nhp
+metric discounts exactly that effect.
+
+This module provides:
+
+* :class:`Attribute` — one named attribute with labelled values and a
+  homophily flag.
+* :class:`Schema` — the full attribute specification of a network: an
+  ordered collection of node attributes and edge attributes, with
+  label <-> code translation helpers.
+
+Values are stored internally as integer codes (``numpy`` friendly); user
+facing APIs accept and return string labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["Attribute", "Schema", "NULL", "SchemaError"]
+
+#: Integer code reserved for the null value of every attribute.
+NULL = 0
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or unknown attributes/values."""
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A discrete attribute with labelled values.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, e.g. ``"EDU"``.  Names are unique within the node
+        attributes and within the edge attributes of a :class:`Schema`.
+    values:
+        Labels for the non-null codes ``1..len(values)``, in code order.
+        Code ``0`` is always the null value and has no label.
+    homophily:
+        Whether the attribute follows the homophily principle (Section
+        III-B).  Only meaningful for node attributes; edge attributes are
+        never homophilous because they do not describe endpoints.
+    """
+
+    name: str
+    values: tuple[str, ...]
+    homophily: bool = False
+    _code_of: Mapping[str, int] = field(init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        values = tuple(self.values)
+        if len(set(values)) != len(values):
+            raise SchemaError(f"attribute {self.name!r} has duplicate value labels")
+        if not values:
+            raise SchemaError(f"attribute {self.name!r} must have at least one value")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(
+            self, "_code_of", {label: code for code, label in enumerate(values, start=1)}
+        )
+
+    @property
+    def domain_size(self) -> int:
+        """Number of non-null values, the ``|A|`` of the paper."""
+        return len(self.values)
+
+    def code(self, label: str) -> int:
+        """Translate a value label to its integer code (1-based)."""
+        try:
+            return self._code_of[label]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {self.name!r} has no value {label!r}; "
+                f"known values: {list(self.values)}"
+            ) from None
+
+    def label(self, code: int) -> str:
+        """Translate an integer code back to its label.
+
+        The null code ``0`` is rendered as ``"<null>"``.
+        """
+        if code == NULL:
+            return "<null>"
+        if not 1 <= code <= len(self.values):
+            raise SchemaError(
+                f"attribute {self.name!r} has no code {code}; domain size is {self.domain_size}"
+            )
+        return self.values[code - 1]
+
+    def codes(self) -> range:
+        """All non-null codes of this attribute."""
+        return range(1, self.domain_size + 1)
+
+
+class Schema:
+    """Attribute specification of a social network.
+
+    Parameters
+    ----------
+    node_attributes:
+        Ordered attributes describing nodes.
+    edge_attributes:
+        Ordered attributes describing edges.  Edge attributes must not be
+        flagged homophilous.
+
+    Examples
+    --------
+    >>> schema = Schema(
+    ...     node_attributes=[
+    ...         Attribute("SEX", ("F", "M")),
+    ...         Attribute("EDU", ("HighSchool", "College", "Grad"), homophily=True),
+    ...     ],
+    ...     edge_attributes=[Attribute("TYPE", ("dates",))],
+    ... )
+    >>> schema.node_attribute("EDU").homophily
+    True
+    """
+
+    def __init__(
+        self,
+        node_attributes: Iterable[Attribute],
+        edge_attributes: Iterable[Attribute] = (),
+    ) -> None:
+        self._node_attrs: tuple[Attribute, ...] = tuple(node_attributes)
+        self._edge_attrs: tuple[Attribute, ...] = tuple(edge_attributes)
+        if not self._node_attrs:
+            raise SchemaError("a schema needs at least one node attribute")
+        node_names = [a.name for a in self._node_attrs]
+        edge_names = [a.name for a in self._edge_attrs]
+        if len(set(node_names)) != len(node_names):
+            raise SchemaError(f"duplicate node attribute names: {node_names}")
+        if len(set(edge_names)) != len(edge_names):
+            raise SchemaError(f"duplicate edge attribute names: {edge_names}")
+        overlap = set(node_names) & set(edge_names)
+        if overlap:
+            raise SchemaError(f"attributes declared as both node and edge: {sorted(overlap)}")
+        for attr in self._edge_attrs:
+            if attr.homophily:
+                raise SchemaError(
+                    f"edge attribute {attr.name!r} cannot be homophilous: homophily "
+                    "describes endpoint similarity, not edge labels"
+                )
+        self._node_by_name = {a.name: a for a in self._node_attrs}
+        self._edge_by_name = {a.name: a for a in self._edge_attrs}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def node_attributes(self) -> tuple[Attribute, ...]:
+        return self._node_attrs
+
+    @property
+    def edge_attributes(self) -> tuple[Attribute, ...]:
+        return self._edge_attrs
+
+    @property
+    def node_attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._node_attrs)
+
+    @property
+    def edge_attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._edge_attrs)
+
+    @property
+    def homophily_attribute_names(self) -> tuple[str, ...]:
+        """Names of homophilous node attributes, in schema order."""
+        return tuple(a.name for a in self._node_attrs if a.homophily)
+
+    @property
+    def non_homophily_attribute_names(self) -> tuple[str, ...]:
+        """Names of non-homophilous node attributes, in schema order."""
+        return tuple(a.name for a in self._node_attrs if not a.homophily)
+
+    def node_attribute(self, name: str) -> Attribute:
+        try:
+            return self._node_by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown node attribute {name!r}; known: {list(self._node_by_name)}"
+            ) from None
+
+    def edge_attribute(self, name: str) -> Attribute:
+        try:
+            return self._edge_by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown edge attribute {name!r}; known: {list(self._edge_by_name)}"
+            ) from None
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name regardless of kind."""
+        if name in self._node_by_name:
+            return self._node_by_name[name]
+        return self.edge_attribute(name)
+
+    def is_node_attribute(self, name: str) -> bool:
+        return name in self._node_by_name
+
+    def is_edge_attribute(self, name: str) -> bool:
+        return name in self._edge_by_name
+
+    def is_homophily(self, name: str) -> bool:
+        """Whether ``name`` is a homophily node attribute."""
+        return self.attribute(name).homophily if self.is_node_attribute(name) else False
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._node_by_name or name in self._edge_by_name
+
+    def __iter__(self) -> Iterator[Attribute]:
+        yield from self._node_attrs
+        yield from self._edge_attrs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self._node_attrs == other._node_attrs and self._edge_attrs == other._edge_attrs
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._node_attrs, self._edge_attrs))
+
+    def __repr__(self) -> str:
+        return (
+            f"Schema(node_attributes={[a.name for a in self._node_attrs]}, "
+            f"edge_attributes={[a.name for a in self._edge_attrs]})"
+        )
+
+    # ------------------------------------------------------------------
+    # Encoding helpers
+    # ------------------------------------------------------------------
+    def encode_node(self, record: Mapping[str, str]) -> tuple[int, ...]:
+        """Encode a node's ``{attr: label}`` mapping to a code vector.
+
+        Missing attributes encode to the null code.
+        """
+        self._check_known(record, self._node_by_name, kind="node")
+        return tuple(
+            attr.code(record[attr.name]) if attr.name in record else NULL
+            for attr in self._node_attrs
+        )
+
+    def encode_edge(self, record: Mapping[str, str]) -> tuple[int, ...]:
+        """Encode an edge's ``{attr: label}`` mapping to a code vector."""
+        self._check_known(record, self._edge_by_name, kind="edge")
+        return tuple(
+            attr.code(record[attr.name]) if attr.name in record else NULL
+            for attr in self._edge_attrs
+        )
+
+    def decode_node(self, codes: Sequence[int]) -> dict[str, str]:
+        """Decode a node code vector to ``{attr: label}``, omitting nulls."""
+        return {
+            attr.name: attr.label(code)
+            for attr, code in zip(self._node_attrs, codes)
+            if code != NULL
+        }
+
+    def decode_edge(self, codes: Sequence[int]) -> dict[str, str]:
+        """Decode an edge code vector to ``{attr: label}``, omitting nulls."""
+        return {
+            attr.name: attr.label(code)
+            for attr, code in zip(self._edge_attrs, codes)
+            if code != NULL
+        }
+
+    @staticmethod
+    def _check_known(
+        record: Mapping[str, str], known: Mapping[str, Attribute], kind: str
+    ) -> None:
+        unknown = set(record) - set(known)
+        if unknown:
+            raise SchemaError(f"unknown {kind} attributes: {sorted(unknown)}")
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def with_homophily(self, homophily_names: Iterable[str]) -> "Schema":
+        """Return a copy with exactly ``homophily_names`` flagged homophilous."""
+        names = set(homophily_names)
+        unknown = names - set(self.node_attribute_names)
+        if unknown:
+            raise SchemaError(f"unknown node attributes in homophily set: {sorted(unknown)}")
+        node_attrs = [
+            Attribute(a.name, a.values, homophily=a.name in names) for a in self._node_attrs
+        ]
+        edge_attrs = [Attribute(a.name, a.values, homophily=False) for a in self._edge_attrs]
+        return Schema(node_attrs, edge_attrs)
+
+    def restrict_node_attributes(self, names: Iterable[str]) -> "Schema":
+        """Return a schema keeping only the named node attributes (in schema order)."""
+        keep = set(names)
+        unknown = keep - set(self.node_attribute_names)
+        if unknown:
+            raise SchemaError(f"unknown node attributes: {sorted(unknown)}")
+        node_attrs = [a for a in self._node_attrs if a.name in keep]
+        if not node_attrs:
+            raise SchemaError("restriction would leave no node attributes")
+        return Schema(node_attrs, self._edge_attrs)

@@ -1,0 +1,26 @@
+"""Datasets: the paper's toy example plus synthetic evaluation workloads."""
+
+from .dblp import AREAS, PRODUCTIVITY, STRENGTH, dblp_schema, synthetic_dblp
+from .financial import financial_schema, synthetic_financial
+from .pokec import POKEC_HOMOPHILY_ATTRIBUTES, pokec_schema, synthetic_pokec
+from .random_graphs import random_attributed_network, random_schema
+from .toy import TOY_LINKS, TOY_NODES, toy_dating_network, toy_schema
+
+__all__ = [
+    "AREAS",
+    "PRODUCTIVITY",
+    "POKEC_HOMOPHILY_ATTRIBUTES",
+    "STRENGTH",
+    "TOY_LINKS",
+    "TOY_NODES",
+    "dblp_schema",
+    "financial_schema",
+    "pokec_schema",
+    "random_attributed_network",
+    "random_schema",
+    "synthetic_dblp",
+    "synthetic_financial",
+    "synthetic_pokec",
+    "toy_dating_network",
+    "toy_schema",
+]

@@ -1,0 +1,88 @@
+"""The financial-promotion network of Example 3.
+
+A customer social network where nodes carry a JOB and the PRODUCT they
+bought.  The planted structure mirrors the example's story:
+
+* following homophily, friends of stock-holding lawyers often hold
+  Stocks themselves — the trivial GR
+  ``(JOB:Lawyer, PRODUCT:Stocks) → (PRODUCT:Stocks)``;
+* but *beyond* homophily, the friends who did **not** buy Stocks
+  disproportionately bought Bonds — the actionable GR
+  ``(JOB:Lawyer, PRODUCT:Stocks) → (PRODUCT:Bonds)`` with high nhp,
+  which a promoter can use to push Bonds with a high adoption rate.
+
+Used by the ``financial_promotion.py`` example and integration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.network import SocialNetwork
+from ..data.schema import Attribute, Schema
+
+__all__ = ["financial_schema", "synthetic_financial"]
+
+JOBS = ("Lawyer", "Doctor", "Engineer", "Teacher", "Sales")
+PRODUCTS = ("Stocks", "Bonds", "Funds", "Savings", "None")
+
+_J = {name: i + 1 for i, name in enumerate(JOBS)}  # 1-based codes
+_P = {name: i + 1 for i, name in enumerate(PRODUCTS)}
+
+
+def financial_schema() -> Schema:
+    """JOB is non-homophilous here; PRODUCT follows homophily (friends
+    hold the same products — the effect Example 3 wants to discount)."""
+    return Schema(
+        node_attributes=[
+            Attribute("JOB", JOBS),
+            Attribute("PRODUCT", PRODUCTS, homophily=True),
+        ]
+    )
+
+
+def synthetic_financial(
+    num_nodes: int = 4_000,
+    num_edges: int = 24_000,
+    bond_preference: float = 0.72,
+    seed: int = 7,
+) -> SocialNetwork:
+    """Generate the Example 3 network.
+
+    ``bond_preference`` is the planted nhp of
+    ``(JOB:Lawyer, PRODUCT:Stocks) → (PRODUCT:Bonds)``: among friendship
+    edges leaving stock-holding lawyers whose target did *not* buy
+    Stocks, this fraction bought Bonds.
+    """
+    if not 0.0 < bond_preference < 1.0:
+        raise ValueError("bond_preference must be a fraction in (0, 1)")
+    rng = np.random.default_rng(seed)
+    job = rng.choice(len(JOBS), size=num_nodes, p=[0.12, 0.13, 0.25, 0.25, 0.25]) + 1
+    product = rng.choice(len(PRODUCTS), size=num_nodes, p=[0.18, 0.17, 0.2, 0.25, 0.2]) + 1
+
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+
+    # Product homophily: half of all edges connect same-product pairs.
+    buckets = {v: np.flatnonzero(product == v) for v in range(1, len(PRODUCTS) + 1)}
+    same = rng.random(num_edges) < 0.5
+    for e in np.flatnonzero(same):
+        bucket = buckets[int(product[src[e]])]
+        dst[e] = bucket[int(rng.integers(0, bucket.size))]
+
+    # Planted secondary bond: rewire the non-homophilous part of the
+    # edges leaving stock-holding lawyers toward Bonds holders.
+    lawyer_stock = (job[src] == _J["Lawyer"]) & (product[src] == _P["Stocks"])
+    eligible = lawyer_stock & ~same
+    bonds_bucket = buckets[_P["Bonds"]]
+    non_stock = np.flatnonzero(product != _P["Stocks"])
+    for e in np.flatnonzero(eligible):
+        if rng.random() < bond_preference:
+            dst[e] = bonds_bucket[int(rng.integers(0, bonds_bucket.size))]
+        else:
+            # Uniform over non-Stocks holders excluding Bonds bias.
+            dst[e] = non_stock[int(rng.integers(0, non_stock.size))]
+
+    return SocialNetwork(
+        financial_schema(), {"JOB": job, "PRODUCT": product}, src, dst
+    )

@@ -1,0 +1,369 @@
+"""Synthetic Pokec-style social network (Section VI-A substitution).
+
+The paper mines the real Pokec network (1.44M users, 21.1M directed
+edges, SNAP).  Offline and at laptop scale we generate a network with
+the same six node attributes and the same *qualitative* structure —
+strong homophily on Age/Region/Education/Looking-For plus the secondary
+(beyond-homophily) preferences reported in Table IIa:
+
+* ``P1`` (L:Chat) → (L:Good Friend)            nhp ≈ 0.695, conf ≈ 0.31
+* ``P2`` (E:Basic) → (E:Secondary)             nhp ≈ 0.687, conf ≈ 0.15
+* ``P3`` (E:Preschool) → (E:Basic)             nhp ≈ 0.66
+* ``P4`` (E:Hardly Any) → (E:Basic)            nhp ≈ 0.65
+* ``P5`` (L:Sexual Partner) → (G:Female)       nhp = conf ≈ 0.647,
+  with the gender asymmetry of Section VI-B (male seekers 68.1%,
+  female seekers 48.8%)
+* ``P207`` (G:Male, A:25-34) → (A:18-24)       nhp ≈ 0.508, conf ≈ 0.34
+* conf-ranked top GRs are same-region patterns (R:x) → (R:x) with
+  conf ≈ 0.65–0.72.
+
+Destination profiles are drawn from explicit conditional matrices (see
+``_profile_sampler``), so these conditionals hold by construction up to
+sampling noise; EXPERIMENTS.md records measured-vs-paper values.
+
+Attribute domains follow Section VI-A: Gender(3), Age(10 discretized
+bands), Region(default 32, scaled down from 188), Education(10),
+What-Looking-For(11), Marital-Status(7); homophily attributes are
+{Age, Region, Education, Looking-For}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.network import SocialNetwork
+from ..data.schema import Attribute, Schema
+from ._profile_sampler import ProfilePool, draw_conditional, normalize_rows
+
+__all__ = ["pokec_schema", "synthetic_pokec", "POKEC_HOMOPHILY_ATTRIBUTES"]
+
+GENDERS = ("Male", "Female", "Unspecified")
+AGE_BANDS = (
+    "0-6", "7-13", "14-17", "18-24", "25-34",
+    "35-44", "45-54", "55-64", "65-79", "80 or older",
+)
+EDUCATIONS = (
+    "Preschool", "Hardly Any", "Basic", "Training", "Apprentice",
+    "Secondary", "College", "Bachelor", "Master", "PhD",
+)
+LOOKING_FOR = (
+    "Friend", "Good Friend", "Chat", "Date", "Sexual Partner",
+    "Relationship", "Marriage", "Sport Buddy", "Travel Buddy",
+    "Business", "Nothing",
+)
+MARITAL = ("Single", "Taken", "Married", "Divorced", "Widowed", "Complicated", "Secret")
+
+POKEC_HOMOPHILY_ATTRIBUTES = ("Age", "Region", "Education", "Looking-For")
+
+_G = {name: i for i, name in enumerate(GENDERS)}
+_A = {name: i for i, name in enumerate(AGE_BANDS)}
+_E = {name: i for i, name in enumerate(EDUCATIONS)}
+_L = {name: i for i, name in enumerate(LOOKING_FOR)}
+
+
+def pokec_schema(num_regions: int = 32) -> Schema:
+    """The six-attribute Pokec schema with the paper's homophily setting."""
+    regions = tuple(f"Region-{i:02d}" for i in range(1, num_regions + 1))
+    return Schema(
+        node_attributes=[
+            Attribute("Gender", GENDERS),
+            Attribute("Age", AGE_BANDS, homophily=True),
+            Attribute("Region", regions, homophily=True),
+            Attribute("Education", EDUCATIONS, homophily=True),
+            Attribute("Looking-For", LOOKING_FOR, homophily=True),
+            Attribute("Marital", MARITAL),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# Marginals (source-node profiles)
+# ----------------------------------------------------------------------
+def _marginals(num_regions: int, rng: np.random.Generator) -> dict[str, np.ndarray]:
+    gender = np.array([0.49, 0.47, 0.04])
+    age = np.array([0.01, 0.03, 0.12, 0.30, 0.26, 0.14, 0.08, 0.04, 0.015, 0.005])
+    # Zipf-ish region sizes, as in real Pokec where a few regions dominate.
+    region = 1.0 / np.arange(1, num_regions + 1) ** 0.7
+    education = np.array(
+        # Preschool, HardlyAny, Basic, Training, Apprentice,
+        # Secondary, College, Bachelor, Master, PhD
+        [0.02, 0.025, 0.24, 0.019, 0.11, 0.1954, 0.13, 0.13, 0.10, 0.0306]
+    )
+    looking = np.array(
+        [0.16, 0.14, 0.17, 0.12, 0.13, 0.12, 0.05, 0.04, 0.04, 0.02, 0.01]
+    )
+    marital = np.array([0.48, 0.20, 0.18, 0.08, 0.02, 0.03, 0.01])
+    return {
+        "Gender": gender / gender.sum(),
+        "Age": age / age.sum(),
+        "Region": region / region.sum(),
+        "Education": education / education.sum(),
+        "Looking-For": looking / looking.sum(),
+        "Marital": marital / marital.sum(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Conditional matrices (destination profiles)
+# ----------------------------------------------------------------------
+def _region_conditional(num_regions: int, same: float = 0.68) -> np.ndarray:
+    """Strong region homophily: the paper's conf-ranked (R:x)→(R:x) rows."""
+    matrix = np.full((num_regions, num_regions), (1.0 - same) / (num_regions - 1))
+    np.fill_diagonal(matrix, same)
+    return matrix
+
+
+def _education_conditional(marginal: np.ndarray) -> np.ndarray:
+    """Education rows: homophily diagonal plus the P2/P3/P4 preferences.
+
+    Off-diagonal mass is spread proportionally to the *marginal* (damped
+    by attribute distance), so destination profiles do not inflate the
+    population share of small values like Training.
+    """
+    n = len(EDUCATIONS)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        row = np.zeros(n)
+        for j in range(n):
+            if j != i:
+                row[j] = marginal[j] / (1.0 + 0.5 * abs(i - j))
+        row *= 0.45 / row.sum()
+        row[i] = 0.55
+        matrix[i] = row
+    # Planted secondary preferences (the shares of the *off-diagonal*
+    # mass match the paper's nhp values).
+    basic, secondary, preschool, hardly = _E["Basic"], _E["Secondary"], _E["Preschool"], _E["Hardly Any"]
+    matrix[basic] = _row_with_preference(
+        n, basic, same=0.55, target=secondary, target_share=0.687, weights=marginal
+    )
+    matrix[preschool] = _row_with_preference(
+        n, preschool, same=0.40, target=basic, target_share=0.661, weights=marginal
+    )
+    matrix[hardly] = _row_with_preference(
+        n, hardly, same=0.42, target=basic, target_share=0.65, weights=marginal
+    )
+    return normalize_rows(matrix)
+
+
+def _row_with_preference(
+    n: int,
+    same_index: int,
+    same: float,
+    target: int,
+    target_share: float,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """A conditional row with P(same) = ``same`` and, of the remaining
+    mass, ``target_share`` on ``target`` (this ratio is exactly the nhp
+    of the planted single-attribute GR).  The residual mass spreads over
+    the other values, uniformly or proportionally to ``weights``."""
+    if same_index == target:
+        raise ValueError("target must differ from the diagonal")
+    row = np.zeros(n)
+    row[same_index] = same
+    off = 1.0 - same
+    row[target] = off * target_share
+    rest = off * (1.0 - target_share)
+    others = [j for j in range(n) if j not in (same_index, target)]
+    if weights is None:
+        for j in others:
+            row[j] = rest / len(others)
+    else:
+        total = sum(weights[j] for j in others) or 1.0
+        for j in others:
+            row[j] = rest * weights[j] / total
+    return row
+
+
+def _looking_conditional() -> np.ndarray:
+    """Looking-For rows: P1's Chat → Good Friend preference."""
+    n = len(LOOKING_FOR)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        matrix[i] = _uniform_with_diagonal(n, i, same=0.45)
+    matrix[_L["Chat"]] = _row_with_preference(
+        n, _L["Chat"], same=0.556, target=_L["Good Friend"], target_share=0.695
+    )
+    return normalize_rows(matrix)
+
+
+def _uniform_with_diagonal(n: int, i: int, same: float) -> np.ndarray:
+    row = np.full(n, (1.0 - same) / (n - 1))
+    row[i] = same
+    return row
+
+
+def _age_conditional() -> np.ndarray:
+    """Age rows (per source gender): P207's younger-partner preference.
+
+    Returns an array of shape ``(num_genders, num_bands, num_bands)``.
+    """
+    n = len(AGE_BANDS)
+    base = np.zeros((n, n))
+    for i in range(n):
+        row = np.zeros(n)
+        for j in range(n):
+            row[j] = 1.0 / (1.0 + 2.0 * abs(i - j))
+        row[i] = row[i] * 4.0  # same-band homophily
+        base[i] = row / row.sum()
+    per_gender = np.stack([base, base, base]).copy()
+    male, female = _G["Male"], _G["Female"]
+    b2534, b1824 = _A["25-34"], _A["18-24"]
+    # Males 25-34: of the non-same mass, 50.8% goes to 18-24 (P207).
+    per_gender[male, b2534] = _row_with_preference(
+        n, b2534, same=0.333, target=b1824, target_share=0.508
+    )
+    # Females 25-34: the weaker 32.8% counterpart of Section VI-B.
+    per_gender[female, b2534] = _row_with_preference(
+        n, b2534, same=0.45, target=b1824, target_share=0.328
+    )
+    return per_gender
+
+
+def _gender_conditional(marginal: np.ndarray) -> np.ndarray:
+    """Gender rows per (source gender, source looking-for).
+
+    Returns shape ``(num_genders, num_looking, num_genders)``.  Encodes
+    P5's asymmetry: male sexual-partner seekers reach female profiles
+    68.1% of the time, female seekers reach male profiles 48.8%.
+    """
+    num_g, num_l = len(GENDERS), len(LOOKING_FOR)
+    out = np.zeros((num_g, num_l, num_g))
+    male, female, unspec = _G["Male"], _G["Female"], _G["Unspecified"]
+    sp = _L["Sexual Partner"]
+    for g in range(num_g):
+        for l in range(num_l):
+            out[g, l] = marginal
+    # Mild opposite-sex preference on ordinary ties.
+    out[male, :, :] = np.array([0.42, 0.54, 0.04])
+    out[female, :, :] = np.array([0.52, 0.44, 0.04])
+    out[unspec, :, :] = marginal
+    # P5's planted rows.
+    out[male, sp] = np.array([0.289, 0.681, 0.03])
+    out[female, sp] = np.array([0.488, 0.482, 0.03])
+    return out
+
+
+def _looking_marginal_by_gender(base: np.ndarray) -> np.ndarray:
+    """Per-gender Looking-For marginals: males seek sexual partners at
+    roughly five times the female rate (the P5 asymmetry)."""
+    sp = _L["Sexual Partner"]
+    out = np.tile(base, (len(GENDERS), 1)).astype(np.float64)
+    out[_G["Male"], sp] = 0.22
+    out[_G["Female"], sp] = 0.045
+    out[_G["Unspecified"], sp] = 0.06
+    return out / out.sum(axis=1, keepdims=True)
+
+
+def _marital_conditional(marginal: np.ndarray) -> np.ndarray:
+    """Marital status is non-homophilous: destinations follow a mildly
+    single-leaning marginal regardless of the source."""
+    n = len(MARITAL)
+    row = marginal.copy()
+    return np.tile(row, (n, 1))
+
+
+# ----------------------------------------------------------------------
+# Generator
+# ----------------------------------------------------------------------
+def synthetic_pokec(
+    num_sources: int = 12_000,
+    num_edges: int = 150_000,
+    num_regions: int = 32,
+    mean_in_degree: float = 8.0,
+    seed: int = 20160516,
+) -> SocialNetwork:
+    """Generate the Pokec-style network.
+
+    Parameters
+    ----------
+    num_sources:
+        Nodes sampled up-front with marginal profiles (edge sources).
+    num_edges:
+        Directed edges.  Destination nodes are materialized on demand,
+        so the final node count exceeds ``num_sources``.
+    num_regions:
+        Region domain size (the paper's 188 scaled down; must be ≥ 2).
+    mean_in_degree:
+        Average number of edges landing on each materialized
+        destination node.
+    seed:
+        RNG seed; the default fixes the datasets used by the benches.
+    """
+    if num_regions < 2:
+        raise ValueError("need at least two regions")
+    rng = np.random.default_rng(seed)
+    schema = pokec_schema(num_regions)
+    marginals = _marginals(num_regions, rng)
+    order = [a.name for a in schema.node_attributes]
+
+    # --- source nodes -------------------------------------------------
+    source_profiles = np.column_stack(
+        [rng.choice(len(marginals[name]), size=num_sources, p=marginals[name]) for name in order]
+    )
+    # Looking-For is drawn per gender: sexual-partner seeking is heavily
+    # male in the paper's P5 discussion (supp 392 652 male vs 71 699
+    # female hypothesis variations), which is what makes the aggregate
+    # (L:Sexual Partner) → (G:Female) land at nhp ≈ 0.647.
+    g_col = [a.name for a in schema.node_attributes].index("Gender")
+    l_col = [a.name for a in schema.node_attributes].index("Looking-For")
+    looking_by_gender = _looking_marginal_by_gender(marginals["Looking-For"])
+    for g in range(len(GENDERS)):
+        mask = source_profiles[:, g_col] == g
+        if mask.any():
+            source_profiles[mask, l_col] = rng.choice(
+                len(LOOKING_FOR), size=int(mask.sum()), p=looking_by_gender[g]
+            )
+    pool = ProfilePool(rng, mean_in_degree=mean_in_degree)
+    source_ids = pool.add_seed_nodes(source_profiles)
+
+    # --- edges ---------------------------------------------------------
+    src_rows = rng.integers(0, num_sources, size=num_edges)
+    src = source_ids[src_rows]
+    src_profile = source_profiles[src_rows]
+    g_idx, a_idx = order.index("Gender"), order.index("Age")
+    r_idx, e_idx = order.index("Region"), order.index("Education")
+    l_idx, s_idx = order.index("Looking-For"), order.index("Marital")
+
+    dst_profile = np.empty_like(src_profile)
+    dst_profile[:, r_idx] = draw_conditional(
+        rng, _region_conditional(num_regions), src_profile[:, r_idx]
+    )
+    dst_profile[:, e_idx] = draw_conditional(
+        rng, _education_conditional(marginals["Education"]), src_profile[:, e_idx]
+    )
+    dst_profile[:, l_idx] = draw_conditional(
+        rng, _looking_conditional(), src_profile[:, l_idx]
+    )
+    age_matrices = _age_conditional()
+    gender_matrices = _gender_conditional(marginals["Gender"])
+    dst_profile[:, a_idx] = _draw_two_level(
+        rng, age_matrices, src_profile[:, g_idx], src_profile[:, a_idx]
+    )
+    dst_profile[:, g_idx] = _draw_two_level(
+        rng, gender_matrices, src_profile[:, g_idx], src_profile[:, l_idx]
+    )
+    dst_profile[:, s_idx] = draw_conditional(
+        rng, _marital_conditional(marginals["Marital"]), src_profile[:, s_idx]
+    )
+
+    dst = pool.resolve(dst_profile)
+
+    # --- assemble network ----------------------------------------------
+    columns = pool.node_columns(len(order))
+    node_codes = {name: columns[j] + 1 for j, name in enumerate(order)}  # 1-based codes
+    return SocialNetwork(schema, node_codes, src, dst)
+
+
+def _draw_two_level(
+    rng: np.random.Generator,
+    matrices: np.ndarray,
+    outer: np.ndarray,
+    inner: np.ndarray,
+) -> np.ndarray:
+    """Draw from ``matrices[outer, inner]`` rows, vectorized per outer value."""
+    result = np.empty(outer.shape[0], dtype=np.int64)
+    for value in np.unique(outer):
+        mask = outer == value
+        result[mask] = draw_conditional(rng, matrices[value], inner[mask])
+    return result

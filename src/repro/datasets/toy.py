@@ -1,0 +1,90 @@
+"""The toy dating network of Fig. 1 (Section I).
+
+14 individuals with attributes SEX, RACE and EDU, joined by 15 dating
+links.  The paper draws the topology; the attribute table (Fig. 1b) is
+reproduced verbatim.  The link set below is reconstructed so that every
+ground-truth statistic quoted in Examples 1 and 2 holds exactly:
+
+* GR1 ``(SEX:M) → (SEX:F, RACE:Asian)``: 7 directed edges, and 14
+  directed edges leave male nodes, so conf = 7/14.
+* GR2 ``(SEX:M, RACE:Asian) → (SEX:F, RACE:Asian)``: 0 edges.
+* GR3 ``(SEX:F, EDU:Grad) → (SEX:M, EDU:Grad)``: 4 edges out of the 6
+  leaving (F, Grad) nodes, so conf = 4/6.
+* GR4 ``(SEX:F, EDU:Grad) → (SEX:M, EDU:College)``: 2 edges, conf = 2/6,
+  and with EDU homophilous nhp = 2 / (6 − 4) = 1.
+
+The paper quotes supports "out of the 15 links"; links are undirected, so
+the stored network has 30 directed edges (the paper's own convention for
+undirected ties) and the *absolute* counts above are what our tests
+assert.
+"""
+
+from __future__ import annotations
+
+from ..data.network import SocialNetwork
+from ..data.schema import Attribute, Schema
+
+__all__ = ["toy_schema", "toy_dating_network", "TOY_NODES", "TOY_LINKS"]
+
+#: Fig. 1b verbatim: node id -> (SEX, RACE, EDU).
+TOY_NODES: dict[int, dict[str, str]] = {
+    1: {"SEX": "F", "RACE": "Asian", "EDU": "Grad"},
+    2: {"SEX": "F", "RACE": "Latino", "EDU": "Grad"},
+    3: {"SEX": "F", "RACE": "White", "EDU": "Grad"},
+    4: {"SEX": "F", "RACE": "Asian", "EDU": "College"},
+    5: {"SEX": "F", "RACE": "White", "EDU": "College"},
+    6: {"SEX": "F", "RACE": "Asian", "EDU": "High School"},
+    7: {"SEX": "F", "RACE": "Latino", "EDU": "High School"},
+    8: {"SEX": "M", "RACE": "Asian", "EDU": "Grad"},
+    9: {"SEX": "M", "RACE": "Latino", "EDU": "Grad"},
+    10: {"SEX": "M", "RACE": "White", "EDU": "Grad"},
+    11: {"SEX": "M", "RACE": "Latino", "EDU": "College"},
+    12: {"SEX": "M", "RACE": "White", "EDU": "College"},
+    13: {"SEX": "M", "RACE": "Asian", "EDU": "High School"},
+    14: {"SEX": "M", "RACE": "White", "EDU": "High School"},
+}
+
+#: The 15 undirected dating links, reconstructed to satisfy the quoted
+#: statistics of Examples 1 and 2 (see module docstring).
+TOY_LINKS: tuple[tuple[int, int], ...] = (
+    (1, 9),
+    (1, 10),
+    (2, 8),
+    (2, 11),
+    (3, 10),
+    (3, 12),
+    (4, 9),
+    (4, 11),
+    (4, 12),
+    (6, 10),
+    (6, 14),
+    (5, 8),
+    (5, 13),
+    (7, 13),
+    (5, 7),
+)
+
+
+def toy_schema() -> Schema:
+    """Schema of the toy dating network.
+
+    EDU is the homophily attribute (Example 2 assumes it); SEX and RACE
+    are non-homophilous — dating can be between any sexes, and Example 1
+    treats cross-race preference as the finding, not the expectation.
+    """
+    return Schema(
+        node_attributes=[
+            Attribute("SEX", ("F", "M")),
+            Attribute("RACE", ("Asian", "Latino", "White")),
+            Attribute("EDU", ("High School", "College", "Grad"), homophily=True),
+        ],
+        edge_attributes=[Attribute("TYPE", ("dates",))],
+    )
+
+
+def toy_dating_network() -> SocialNetwork:
+    """Build the Fig. 1 network: 14 nodes, 15 links = 30 directed edges."""
+    schema = toy_schema()
+    directed = [(u, v, {"TYPE": "dates"}) for u, v in TOY_LINKS]
+    network = SocialNetwork.from_records(schema, TOY_NODES, directed)
+    return network.with_reciprocal_edges()

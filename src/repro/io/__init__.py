@@ -1,0 +1,19 @@
+"""Persistence and interop (CSV directories, networkx graphs)."""
+
+from .loaders import (
+    from_networkx,
+    load_network,
+    save_network,
+    schema_from_dict,
+    schema_to_dict,
+    to_networkx,
+)
+
+__all__ = [
+    "from_networkx",
+    "load_network",
+    "save_network",
+    "schema_from_dict",
+    "schema_to_dict",
+    "to_networkx",
+]

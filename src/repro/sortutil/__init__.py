@@ -1,0 +1,5 @@
+"""Linear-time sorting/partitioning primitives (CLRS 8.2 counting sort)."""
+
+from .counting_sort import counting_sort_argsort, partition_by_value, value_counts
+
+__all__ = ["counting_sort_argsort", "partition_by_value", "value_counts"]

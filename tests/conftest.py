@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.network import SocialNetwork
+from repro.data.schema import Attribute, Schema
+from repro.datasets.toy import toy_dating_network
+
+
+@pytest.fixture(scope="session")
+def toy_network() -> SocialNetwork:
+    """The Fig. 1 dating network (session-cached; it is immutable)."""
+    return toy_dating_network()
+
+
+@pytest.fixture
+def small_schema() -> Schema:
+    """Two node attributes (one homophilous) and one edge attribute."""
+    return Schema(
+        node_attributes=[
+            Attribute("A", ("a1", "a2"), homophily=True),
+            Attribute("B", ("b1", "b2", "b3")),
+        ],
+        edge_attributes=[Attribute("W", ("w1", "w2"))],
+    )
+
+
+@pytest.fixture
+def small_network(small_schema: Schema) -> SocialNetwork:
+    """A hand-built 6-node / 8-edge network with known counts."""
+    nodes = {
+        0: {"A": "a1", "B": "b1"},
+        1: {"A": "a1", "B": "b2"},
+        2: {"A": "a2", "B": "b1"},
+        3: {"A": "a2", "B": "b3"},
+        4: {"A": "a1"},  # B is null
+        5: {"B": "b2"},  # A is null
+    }
+    edges = [
+        (0, 1, {"W": "w1"}),
+        (0, 2, {"W": "w1"}),
+        (1, 2, {"W": "w2"}),
+        (1, 3, {"W": "w1"}),
+        (2, 3, {"W": "w2"}),
+        (3, 0, {"W": "w1"}),
+        (4, 5, {"W": "w2"}),
+        (5, 4, {}),  # W is null
+    ]
+    return SocialNetwork.from_records(small_schema, nodes, edges)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,162 @@
+"""Hypothesis explorer, homophily identification and report formatting."""
+
+import pytest
+
+from repro.analysis.homophily import (
+    attribute_assortativity,
+    homophily_report,
+    same_value_propensity,
+    suggest_homophily_attributes,
+)
+from repro.analysis.hypothesis import HypothesisExplorer
+from repro.analysis.summary import format_result, format_table2, result_rows
+from repro.core.descriptors import GR, Descriptor
+from repro.core.miner import GRMiner
+
+
+@pytest.fixture
+def explorer(toy_network):
+    return HypothesisExplorer(toy_network)
+
+
+GR1 = GR(
+    Descriptor({"SEX": "M"}),
+    Descriptor({"SEX": "F", "RACE": "Asian"}),
+    Descriptor({"TYPE": "dates"}),
+)
+
+
+class TestHypothesisExplorer:
+    def test_evaluate_returns_labelled_hypothesis(self, explorer):
+        h = explorer.evaluate(GR1, label="GR1")
+        assert h.label == "GR1"
+        assert h.metrics.support_count == 7
+        assert "GR1" in str(h)
+
+    def test_compare_sorts_by_nhp(self, explorer):
+        gr3 = GR(
+            Descriptor({"SEX": "F", "EDU": "Grad"}),
+            Descriptor({"SEX": "M", "EDU": "Grad"}),
+            Descriptor({"TYPE": "dates"}),
+        )
+        gr4 = GR(
+            Descriptor({"SEX": "F", "EDU": "Grad"}),
+            Descriptor({"SEX": "M", "EDU": "College"}),
+            Descriptor({"TYPE": "dates"}),
+        )
+        ordered = explorer.compare([gr3, gr4])
+        assert ordered[0].gr == gr4  # nhp 1.0 beats 0.667
+
+    def test_replace_value_on_lhs(self, explorer):
+        """The paper's P207 move: Male -> Female on the LHS."""
+        variant = explorer.replace_value(GR1, "lhs", "SEX", "F")
+        assert variant.lhs["SEX"] == "F"
+        assert variant.rhs == GR1.rhs
+
+    def test_replace_value_on_rhs_and_edge(self, explorer):
+        assert explorer.replace_value(GR1, "rhs", "RACE", "White").rhs["RACE"] == "White"
+        assert (
+            explorer.replace_value(GR1, "edge", "TYPE", "dates").edge["TYPE"] == "dates"
+        )
+
+    def test_replace_value_validates_labels(self, explorer):
+        with pytest.raises(Exception):
+            explorer.replace_value(GR1, "lhs", "SEX", "X")
+        with pytest.raises(ValueError):
+            explorer.replace_value(GR1, "nowhere", "SEX", "F")
+
+    def test_add_condition(self, explorer):
+        """The paper's P5 move: specialize with (G:Male) on the LHS."""
+        variant = explorer.add_condition(GR1, "lhs", "EDU", "Grad")
+        assert variant.lhs["EDU"] == "Grad"
+
+    def test_add_existing_condition_rejected(self, explorer):
+        with pytest.raises(ValueError, match="already"):
+            explorer.add_condition(GR1, "lhs", "SEX", "F")
+
+    def test_drop_condition(self, explorer):
+        variant = explorer.drop_condition(GR1, "rhs", "RACE")
+        assert "RACE" not in variant.rhs
+        assert explorer.drop_condition(GR1, "edge", "TYPE").edge == Descriptor()
+
+    def test_one_step_variations_ranked(self, explorer):
+        variations = explorer.one_step_variations(GR1, min_support=1)
+        assert variations
+        nhps = [h.metrics.nhp for h in variations]
+        assert nhps == sorted(nhps, reverse=True)
+        # Every variation differs from the seed in exactly one value.
+        for h in variations:
+            assert h.gr != GR1
+
+    def test_one_step_variations_top_limit(self, explorer):
+        assert len(explorer.one_step_variations(GR1, top=3)) <= 3
+
+    def test_value_distribution_sums_to_one(self, explorer):
+        shares = explorer.value_distribution("EDU")
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["Grad"] == pytest.approx(6 / 14)
+
+    def test_value_distribution_over_edges(self, explorer):
+        sources = explorer.value_distribution("SEX", over="sources")
+        destinations = explorer.value_distribution("SEX", over="destinations")
+        # 14 of the 15 links are male-female, 1 is female-female: each
+        # direction contributes 14 male sources and 14 male destinations.
+        assert sources["M"] == pytest.approx(14 / 30)
+        assert destinations["M"] == pytest.approx(14 / 30)
+        with pytest.raises(ValueError):
+            explorer.value_distribution("SEX", over="elsewhere")
+
+
+class TestHomophilyIdentification:
+    def test_toy_edu_is_assortative(self, toy_network):
+        assert attribute_assortativity(toy_network, "EDU") > 0.2
+
+    def test_toy_sex_is_disassortative(self, toy_network):
+        # A dating network: almost all ties cross sexes.
+        assert attribute_assortativity(toy_network, "SEX") < -0.5
+
+    def test_propensity_direction_agrees(self, toy_network):
+        assert same_value_propensity(toy_network, "EDU") > 1.0
+        assert same_value_propensity(toy_network, "SEX") < 1.0
+
+    def test_report_covers_all_attributes(self, toy_network):
+        report = homophily_report(toy_network)
+        assert set(report) == {"SEX", "RACE", "EDU"}
+
+    def test_suggest_recovers_edu(self, toy_network):
+        assert suggest_homophily_attributes(toy_network, 0.1) == ("EDU",)
+
+    def test_suggest_on_pokec_recovers_designation(self):
+        from repro.datasets.pokec import synthetic_pokec
+
+        network = synthetic_pokec(num_sources=2000, num_edges=20_000, seed=3)
+        suggested = set(suggest_homophily_attributes(network, 0.1))
+        assert {"Region", "Education", "Looking-For", "Age"} <= suggested
+        assert "Gender" not in suggested
+
+
+class TestSummaryFormatting:
+    def test_result_rows(self, toy_network):
+        result = GRMiner(toy_network, min_support=2, min_score=0.5, k=5).mine()
+        rows = result_rows(result)
+        assert len(rows) == len(result)
+        assert rows[0]["rank"] == 1
+        assert {"gr", "nhp", "confidence", "support_count"} <= set(rows[0])
+
+    def test_format_result(self, toy_network):
+        result = GRMiner(toy_network, min_support=2, min_score=0.5, k=3).mine()
+        text = format_result(result, title="Toy")
+        assert "Toy" in text
+        assert "nhp" in text
+
+    def test_format_result_empty(self):
+        assert "(no GRs)" in format_result([], title="Empty")
+
+    def test_format_table2_side_by_side(self, toy_network):
+        from repro.core.baselines import ConfidenceMiner
+
+        nhp = GRMiner(toy_network, min_support=2, min_score=0.5, k=5).mine()
+        conf = ConfidenceMiner(toy_network, min_support=2, min_score=0.5, k=5).mine()
+        table = format_table2(nhp, conf, rows=3)
+        assert "Ranked by nhp" in table and "Ranked by conf" in table
+        assert "supp" in table

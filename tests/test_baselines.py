@@ -1,0 +1,112 @@
+"""BL1 / BL2 / ConfidenceMiner behaviour (Section VI-D)."""
+
+import pytest
+
+from repro.core.baselines import BL1Miner, BL2Miner, ConfidenceMiner
+from repro.core.miner import GRMiner
+from repro.datasets.random_graphs import random_attributed_network, random_schema
+
+
+def _signature(result):
+    return [(str(m.gr), round(m.score, 9), m.metrics.support_count) for m in result]
+
+
+@pytest.fixture(scope="module")
+def random_network():
+    schema = random_schema(
+        num_node_attrs=3, num_edge_attrs=1, max_domain=3, num_homophily=1, seed=42
+    )
+    return random_attributed_network(
+        schema, num_nodes=30, num_edges=200, homophily_strength=0.5, seed=42
+    )
+
+
+class TestBL1:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            dict(min_support=2, min_score=0.5),
+            dict(min_support=1, min_score=0.0),
+            dict(min_support=4, min_score=0.3, rank_by="confidence"),
+            dict(min_support=2, min_score=0.5, allow_empty_lhs=True),
+        ],
+    )
+    def test_matches_grminer_output(self, toy_network, params):
+        bl1 = BL1Miner(toy_network, k=None, **params).mine()
+        reference = GRMiner(toy_network, k=None, **params).mine()
+        assert _signature(bl1) == _signature(reference)
+
+    def test_matches_on_random_network(self, random_network):
+        bl1 = BL1Miner(random_network, k=None, min_support=3, min_score=0.4).mine()
+        reference = GRMiner(random_network, k=None, min_support=3, min_score=0.4).mine()
+        assert _signature(bl1) == _signature(reference)
+
+    def test_topk_truncation(self, toy_network):
+        bl1 = BL1Miner(toy_network, k=5, min_support=2, min_score=0.5).mine()
+        assert len(bl1) <= 5
+
+    def test_no_nhp_pruning_in_search(self, toy_network):
+        """BL1 enumerates all frequent cells regardless of minNhp."""
+        strict = BL1Miner(toy_network, k=None, min_support=2, min_score=0.99).mine()
+        loose = BL1Miner(toy_network, k=None, min_support=2, min_score=0.0).mine()
+        assert strict.stats.grs_examined == loose.stats.grs_examined
+
+    def test_node_attribute_restriction(self, toy_network):
+        result = BL1Miner(
+            toy_network, k=None, min_support=1, min_score=0.0, node_attributes=["SEX"]
+        ).mine()
+        used = {name for m in result for name, _ in tuple(m.gr.lhs) + tuple(m.gr.rhs)}
+        assert used <= {"SEX"}
+
+    def test_rank_by_validated(self, toy_network):
+        with pytest.raises(ValueError):
+            BL1Miner(toy_network, rank_by="lift")
+
+    def test_params_tagged(self, toy_network):
+        result = BL1Miner(toy_network, min_support=2).mine()
+        assert result.params["baseline"] == "BL1"
+
+
+class TestBL2:
+    def test_matches_grminer_output(self, toy_network):
+        bl2 = BL2Miner(toy_network, k=None, min_support=2, min_score=0.5).mine()
+        reference = GRMiner(toy_network, k=None, min_support=2, min_score=0.5).mine()
+        assert _signature(bl2) == _signature(reference)
+
+    def test_matches_on_random_network(self, random_network):
+        bl2 = BL2Miner(random_network, k=None, min_support=3, min_score=0.4).mine()
+        reference = GRMiner(random_network, k=None, min_support=3, min_score=0.4).mine()
+        assert _signature(bl2) == _signature(reference)
+
+    def test_pushdowns_disabled(self, toy_network):
+        miner = BL2Miner(toy_network)
+        assert miner.push_score_pruning is False
+        assert miner.push_topk is False
+
+    def test_examines_at_least_as_much_as_grminer(self, toy_network):
+        bl2 = BL2Miner(toy_network, k=None, min_support=1, min_score=0.8).mine()
+        grm = GRMiner(toy_network, k=None, min_support=1, min_score=0.8).mine()
+        assert bl2.stats.grs_examined >= grm.stats.grs_examined
+
+    def test_params_tagged(self, toy_network):
+        assert BL2Miner(toy_network, min_support=2).mine().params["baseline"] == "BL2"
+
+
+class TestConfidenceMiner:
+    def test_defaults_to_confidence_ranking(self, toy_network):
+        miner = ConfidenceMiner(toy_network, min_support=2, min_score=0.5)
+        assert miner.rank_by == "confidence"
+        assert miner.include_trivial is True
+
+    def test_scores_are_confidences(self, toy_network):
+        result = ConfidenceMiner(toy_network, min_support=2, min_score=0.5, k=5).mine()
+        for m in result:
+            assert m.score == pytest.approx(m.metrics.confidence)
+
+    def test_trivial_grs_can_appear(self, random_network):
+        """conf ranking keeps homophilic GRs — the Table II contrast."""
+        result = ConfidenceMiner(
+            random_network, min_support=2, min_score=0.0, k=None
+        ).mine()
+        schema = random_network.schema
+        assert any(m.gr.is_trivial(schema) for m in result)

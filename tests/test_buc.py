@@ -1,0 +1,107 @@
+"""Unit tests for the BUC iceberg cube substrate."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.cube.buc import BUC, cell_to_maps, iceberg_cube
+
+
+@pytest.fixture
+def columns():
+    return {
+        "X": np.array([1, 1, 2, 2, 1, 0]),
+        "Y": np.array([1, 2, 1, 2, 1, 1]),
+    }
+
+
+DOMAINS = {"X": 2, "Y": 2}
+
+
+def brute_force_cube(columns, domains, min_count):
+    """All frequent cells by direct counting."""
+    names = list(columns)
+    n = len(next(iter(columns.values())))
+    cells = {}
+    if n >= min_count:
+        cells[()] = n
+    for size in range(1, len(names) + 1):
+        for subset in combinations(names, size):
+            values_lists = [range(1, domains[c] + 1) for c in subset]
+            import itertools
+
+            for values in itertools.product(*values_lists):
+                mask = np.ones(n, dtype=bool)
+                for c, v in zip(subset, values):
+                    mask &= columns[c] == v
+                count = int(mask.sum())
+                if count >= min_count:
+                    cells[tuple(zip(subset, values))] = count
+    return cells
+
+
+class TestBUC:
+    @pytest.mark.parametrize("min_count", [1, 2, 3])
+    def test_matches_brute_force(self, columns, min_count):
+        result = iceberg_cube(columns, DOMAINS, min_count)
+        expected = brute_force_cube(columns, DOMAINS, min_count)
+        assert result == expected
+
+    def test_null_values_form_no_cells(self, columns):
+        result = iceberg_cube(columns, DOMAINS, 1)
+        assert all(v != 0 for cell in result for _, v in cell)
+
+    def test_empty_cell_counts_all_rows(self, columns):
+        result = iceberg_cube(columns, DOMAINS, 1)
+        assert result[()] == 6
+
+    def test_nothing_when_table_below_threshold(self, columns):
+        result = iceberg_cube(columns, DOMAINS, 100)
+        assert result == {}
+
+    def test_min_count_validated(self, columns):
+        with pytest.raises(ValueError):
+            BUC(columns, DOMAINS, 0)
+
+    def test_missing_domains_rejected(self, columns):
+        with pytest.raises(ValueError, match="domain"):
+            BUC(columns, {"X": 2}, 1)
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError, match="mixed"):
+            BUC({"X": np.array([1]), "Y": np.array([1, 2])}, {"X": 1, "Y": 2}, 1)
+
+    def test_on_cell_callback_sees_every_cell(self, columns):
+        seen = {}
+        BUC(columns, DOMAINS, 2).compute(on_cell=lambda c, n: seen.__setitem__(c, n))
+        assert seen == iceberg_cube(columns, DOMAINS, 2)
+
+    def test_anti_monotone_refinement(self, columns):
+        """Every frequent cell's sub-cells are frequent too (sanity)."""
+        result = iceberg_cube(columns, DOMAINS, 2)
+        for cell, count in result.items():
+            for i in range(len(cell)):
+                sub = cell[:i] + cell[i + 1 :]
+                assert sub in result
+                assert result[sub] >= count
+
+    def test_random_tables_match_bruteforce(self):
+        rng = np.random.default_rng(5)
+        for trial in range(5):
+            columns = {
+                f"C{i}": rng.integers(0, 4, size=40) for i in range(3)
+            }
+            domains = {f"C{i}": 3 for i in range(3)}
+            assert iceberg_cube(columns, domains, 2) == brute_force_cube(
+                columns, domains, 2
+            )
+
+
+class TestCellToMaps:
+    def test_splits_roles(self):
+        from repro.data.edgetable import split_column
+
+        cell = (("A^l", 1), ("A^r", 2), ("W", 3))
+        maps = cell_to_maps(cell, split_column)
+        assert maps == {"L": {"A": 1}, "W": {"W": 3}, "R": {"A": 2}}

@@ -1,0 +1,160 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def toy_dir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "toy"
+    assert main(["generate", "toy", str(path)]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_min_support_parses_counts_and_fractions(self):
+        parser = build_parser()
+        args = parser.parse_args(["mine", "d", "--min-support", "50"])
+        assert args.min_support == 50 and isinstance(args.min_support, int)
+        args = parser.parse_args(["mine", "d", "--min-support", "0.001"])
+        assert args.min_support == pytest.approx(0.001)
+
+
+class TestGenerate:
+    def test_toy_dataset_written(self, toy_dir):
+        assert (toy_dir / "nodes.csv").exists()
+        assert (toy_dir / "edges.csv").exists()
+
+    def test_financial_with_sizes(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "generate",
+                    "financial",
+                    str(tmp_path / "fin"),
+                    "--nodes",
+                    "300",
+                    "--edges",
+                    "1500",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "|V|=300" in out and "|E|=1500" in out
+
+    def test_pokec_small(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "generate",
+                    "pokec",
+                    str(tmp_path / "pk"),
+                    "--nodes",
+                    "200",
+                    "--edges",
+                    "1000",
+                ]
+            )
+            == 0
+        )
+        assert "|E|=1000" in capsys.readouterr().out
+
+    def test_dblp_small(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "generate",
+                    "dblp",
+                    str(tmp_path / "db"),
+                    "--nodes",
+                    "300",
+                    "--edges",
+                    "2000",
+                ]
+            )
+            == 0
+        )
+        assert "|E|=2000" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_prints_schema_and_homophily(self, toy_dir, capsys):
+        assert main(["info", str(toy_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "EDU (homophily)" in out
+        assert "assortativity" in out
+
+
+class TestMine:
+    def test_prints_topk(self, toy_dir, capsys):
+        assert (
+            main(
+                [
+                    "mine",
+                    str(toy_dir),
+                    "-k",
+                    "3",
+                    "--min-support",
+                    "2",
+                    "--min-nhp",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Top-3 GRs by nhp" in out
+        assert "nhp = 100.0%" in out
+
+    def test_homophily_override(self, toy_dir, capsys):
+        assert (
+            main(
+                [
+                    "mine",
+                    str(toy_dir),
+                    "-k",
+                    "3",
+                    "--min-support",
+                    "2",
+                    "--homophily",
+                    "RACE",
+                ]
+            )
+            == 0
+        )
+        assert "Top-3" in capsys.readouterr().out
+
+    def test_attribute_restriction(self, toy_dir, capsys):
+        assert (
+            main(["mine", str(toy_dir), "-k", "3", "--attributes", "SEX"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "EDU" not in out.split("[")[0]  # no EDU conditions in results
+
+    def test_rank_by_confidence(self, toy_dir, capsys):
+        assert main(["mine", str(toy_dir), "--rank-by", "confidence"]) == 0
+        assert "confidence" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_table2_layout(self, toy_dir, capsys):
+        assert (
+            main(["compare", str(toy_dir), "-k", "5", "--min-support", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Ranked by nhp" in out and "Ranked by conf" in out
+
+
+class TestHomophilyCommand:
+    def test_suggests_edu(self, toy_dir, capsys):
+        assert main(["homophily", str(toy_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "suggested homophily attributes: EDU" in out

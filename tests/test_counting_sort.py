@@ -1,0 +1,91 @@
+"""Unit and property tests for the counting-sort partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sortutil.counting_sort import (
+    counting_sort_argsort,
+    partition_by_value,
+    value_counts,
+)
+
+
+class TestCountingSortArgsort:
+    def test_sorts_values(self):
+        keys = np.array([3, 1, 2, 0, 2, 1])
+        order = counting_sort_argsort(keys, domain_size=3)
+        assert list(keys[order]) == [0, 1, 1, 2, 2, 3]
+
+    def test_stability(self):
+        keys = np.array([1, 0, 1, 0, 1])
+        order = counting_sort_argsort(keys, domain_size=1)
+        # Equal keys keep input order.
+        assert list(order) == [1, 3, 0, 2, 4]
+
+    def test_empty(self):
+        assert counting_sort_argsort(np.array([], dtype=int), 4).size == 0
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            counting_sort_argsort(np.zeros((2, 2), dtype=int), 1)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9), max_size=200),
+    )
+    @settings(max_examples=50)
+    def test_matches_stable_argsort(self, values):
+        keys = np.array(values, dtype=np.int64)
+        order = counting_sort_argsort(keys, domain_size=9)
+        expected = np.argsort(keys, kind="stable")
+        assert list(order) == list(expected)
+
+
+class TestValueCounts:
+    def test_histogram(self):
+        counts = value_counts(np.array([0, 2, 2, 1]), domain_size=3)
+        assert list(counts) == [1, 1, 2, 0]
+
+
+class TestPartitionByValue:
+    def test_partitions_cover_non_null_items(self):
+        items = np.arange(6)
+        keys = np.array([1, 2, 1, 0, 2, 1])
+        parts = dict(partition_by_value(items, keys, domain_size=2))
+        assert set(parts) == {1, 2}
+        assert list(parts[1]) == [0, 2, 5]
+        assert list(parts[2]) == [1, 4]
+
+    def test_null_partition_skipped_by_default(self):
+        items = np.arange(3)
+        keys = np.array([0, 0, 1])
+        parts = dict(partition_by_value(items, keys, domain_size=1))
+        assert set(parts) == {1}
+
+    def test_null_partition_kept_on_request(self):
+        items = np.arange(3)
+        keys = np.array([0, 0, 1])
+        parts = dict(partition_by_value(items, keys, domain_size=1, skip_null=False))
+        assert list(parts[0]) == [0, 1]
+
+    def test_empty_input_yields_nothing(self):
+        assert list(partition_by_value(np.array([]), np.array([]), 3)) == []
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            list(partition_by_value(np.arange(3), np.arange(2), 3))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=120),
+    )
+    @settings(max_examples=60)
+    def test_partition_is_exact_cover(self, values):
+        keys = np.array(values, dtype=np.int64)
+        items = np.arange(keys.size)
+        parts = list(partition_by_value(items, keys, domain_size=4))
+        # Every yielded subset holds exactly the items with that key.
+        for value, subset in parts:
+            assert (keys[subset] == value).all()
+        covered = sorted(int(i) for _, subset in parts for i in subset)
+        assert covered == sorted(int(i) for i in items[keys > 0])

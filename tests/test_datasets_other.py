@@ -1,0 +1,113 @@
+"""Random-graph and financial (Example 3) generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.homophily import attribute_assortativity
+from repro.core.descriptors import GR, Descriptor
+from repro.core.metrics import MetricEngine
+from repro.datasets.financial import synthetic_financial
+from repro.datasets.random_graphs import random_attributed_network, random_schema
+
+
+class TestRandomSchema:
+    def test_counts_and_flags(self):
+        schema = random_schema(num_node_attrs=4, num_edge_attrs=2, num_homophily=2, seed=1)
+        assert len(schema.node_attributes) == 4
+        assert len(schema.edge_attributes) == 2
+        assert schema.homophily_attribute_names == ("N0", "N1")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_schema(num_node_attrs=0)
+        with pytest.raises(ValueError):
+            random_schema(num_node_attrs=1, num_homophily=2)
+
+
+class TestRandomNetwork:
+    def test_shape(self):
+        network = random_attributed_network(num_nodes=40, num_edges=200, seed=1)
+        assert network.num_nodes == 40
+        assert network.num_edges == 200
+
+    def test_null_injection(self):
+        network = random_attributed_network(
+            num_nodes=50, num_edges=100, null_fraction=0.3, seed=2
+        )
+        has_null = any(
+            (network.node_column(a.name) == 0).any()
+            for a in network.schema.node_attributes
+        )
+        assert has_null
+
+    def test_homophily_knob_raises_assortativity(self):
+        schema = random_schema(num_node_attrs=2, num_homophily=1, seed=5)
+        weak = random_attributed_network(
+            schema, num_nodes=200, num_edges=3000, homophily_strength=0.0, seed=5
+        )
+        strong = random_attributed_network(
+            schema, num_nodes=200, num_edges=3000, homophily_strength=0.9, seed=5
+        )
+        assert attribute_assortativity(strong, "N0") > attribute_assortativity(
+            weak, "N0"
+        ) + 0.3
+
+    def test_non_homophily_attribute_unaffected(self):
+        schema = random_schema(num_node_attrs=2, num_homophily=1, seed=5)
+        strong = random_attributed_network(
+            schema, num_nodes=200, num_edges=3000, homophily_strength=0.9, seed=5
+        )
+        assert abs(attribute_assortativity(strong, "N1")) < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_attributed_network(homophily_strength=1.5)
+        with pytest.raises(ValueError):
+            random_attributed_network(null_fraction=1.0)
+        with pytest.raises(ValueError):
+            random_attributed_network(num_nodes=1)
+
+    def test_deterministic(self):
+        a = random_attributed_network(num_nodes=30, num_edges=80, seed=11)
+        b = random_attributed_network(num_nodes=30, num_edges=80, seed=11)
+        assert list(a.dst) == list(b.dst)
+
+
+class TestFinancialExample3:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return synthetic_financial(seed=4)
+
+    def test_planted_bond_preference(self, network):
+        """(JOB:Lawyer, PRODUCT:Stocks) -> (PRODUCT:Bonds): high nhp, low conf."""
+        engine = MetricEngine(network)
+        gr = GR(
+            Descriptor({"JOB": "Lawyer", "PRODUCT": "Stocks"}),
+            Descriptor({"PRODUCT": "Bonds"}),
+        )
+        m = engine.evaluate(gr)
+        assert m.nhp == pytest.approx(0.72, abs=0.08)
+        assert m.confidence < m.nhp - 0.2
+        assert m.beta == ("PRODUCT",)
+
+    def test_trivial_stocks_gr_is_homophily(self, network):
+        gr = GR(
+            Descriptor({"JOB": "Lawyer", "PRODUCT": "Stocks"}),
+            Descriptor({"PRODUCT": "Stocks"}),
+        )
+        assert gr.is_trivial(network.schema)
+
+    def test_miner_surfaces_the_bond_pattern(self, network):
+        from repro.core.miner import GRMiner
+
+        result = GRMiner(
+            network, min_support=0.002, min_score=0.55, k=20
+        ).mine()
+        assert any(
+            m.gr.lhs.get("PRODUCT") == "Stocks" and m.gr.rhs.get("PRODUCT") == "Bonds"
+            for m in result
+        )
+
+    def test_bond_preference_validated(self):
+        with pytest.raises(ValueError):
+            synthetic_financial(bond_preference=0.0)

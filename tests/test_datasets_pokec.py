@@ -1,0 +1,130 @@
+"""The synthetic Pokec generator reproduces Table IIa's structure.
+
+Tolerances are deliberately loose (± several points): the assertions pin
+the *shape* — which patterns exist, roughly how strong — not the exact
+sampled values (EXPERIMENTS.md records the precise measured numbers).
+"""
+
+import pytest
+
+from repro.core.descriptors import GR, Descriptor
+from repro.core.metrics import MetricEngine
+from repro.datasets.pokec import POKEC_HOMOPHILY_ATTRIBUTES, pokec_schema, synthetic_pokec
+
+
+@pytest.fixture(scope="module")
+def network():
+    # Module-scoped: generation is the expensive part.
+    return synthetic_pokec(num_sources=5000, num_edges=50_000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def engine(network):
+    return MetricEngine(network)
+
+
+def _nhp(engine, l, r):
+    return engine.evaluate(GR(Descriptor(l), Descriptor(r))).nhp
+
+
+class TestSchema:
+    def test_six_attributes_with_paper_domains(self):
+        schema = pokec_schema()
+        sizes = {a.name: a.domain_size for a in schema.node_attributes}
+        assert sizes["Gender"] == 3
+        assert sizes["Age"] == 10
+        assert sizes["Education"] == 10
+        assert sizes["Looking-For"] == 11
+        assert sizes["Marital"] == 7
+
+    def test_homophily_designation_matches_paper(self):
+        schema = pokec_schema()
+        assert set(schema.homophily_attribute_names) == set(POKEC_HOMOPHILY_ATTRIBUTES)
+
+    def test_region_domain_configurable(self):
+        assert pokec_schema(num_regions=10).node_attribute("Region").domain_size == 10
+        with pytest.raises(ValueError):
+            synthetic_pokec(num_regions=1)
+
+
+class TestGeneration:
+    def test_sizes(self, network):
+        assert network.num_edges == 50_000
+        assert network.num_nodes >= 5000
+
+    def test_no_null_codes(self, network):
+        for name in network.schema.node_attribute_names:
+            assert (network.node_column(name) > 0).all()
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_pokec(num_sources=200, num_edges=1000, seed=9)
+        b = synthetic_pokec(num_sources=200, num_edges=1000, seed=9)
+        assert list(a.src) == list(b.src)
+        assert list(a.dst) == list(b.dst)
+        assert list(a.node_column("Education")) == list(b.node_column("Education"))
+
+    def test_different_seed_differs(self):
+        a = synthetic_pokec(num_sources=200, num_edges=1000, seed=9)
+        b = synthetic_pokec(num_sources=200, num_edges=1000, seed=10)
+        assert list(a.dst) != list(b.dst)
+
+
+class TestPlantedPatterns:
+    def test_p1_chat_prefers_good_friend(self, engine):
+        value = _nhp(engine, {"Looking-For": "Chat"}, {"Looking-For": "Good Friend"})
+        assert value == pytest.approx(0.695, abs=0.05)
+
+    def test_p2_basic_prefers_secondary(self, engine):
+        value = _nhp(engine, {"Education": "Basic"}, {"Education": "Secondary"})
+        assert value == pytest.approx(0.687, abs=0.05)
+
+    def test_p3_preschool_prefers_basic(self, engine):
+        value = _nhp(engine, {"Education": "Preschool"}, {"Education": "Basic"})
+        assert value == pytest.approx(0.661, abs=0.07)
+
+    def test_p4_hardly_any_prefers_basic(self, engine):
+        value = _nhp(engine, {"Education": "Hardly Any"}, {"Education": "Basic"})
+        assert value == pytest.approx(0.65, abs=0.07)
+
+    def test_p5_sexual_partner_seekers_reach_women(self, engine):
+        value = _nhp(engine, {"Looking-For": "Sexual Partner"}, {"Gender": "Female"})
+        assert value == pytest.approx(0.647, abs=0.06)
+
+    def test_p5_gender_asymmetry(self, engine):
+        male = _nhp(
+            engine,
+            {"Gender": "Male", "Looking-For": "Sexual Partner"},
+            {"Gender": "Female"},
+        )
+        female = _nhp(
+            engine,
+            {"Gender": "Female", "Looking-For": "Sexual Partner"},
+            {"Gender": "Male"},
+        )
+        assert male == pytest.approx(0.681, abs=0.05)
+        assert female == pytest.approx(0.488, abs=0.06)
+        assert male > female + 0.1  # the Section VI-B "big difference"
+
+    def test_p207_younger_partner_preference(self, engine):
+        male = _nhp(engine, {"Gender": "Male", "Age": "25-34"}, {"Age": "18-24"})
+        female = _nhp(engine, {"Gender": "Female", "Age": "25-34"}, {"Age": "18-24"})
+        assert male == pytest.approx(0.508, abs=0.05)
+        assert female == pytest.approx(0.328, abs=0.06)
+        assert male > female
+
+    def test_region_homophily_dominates_confidence(self, engine, network):
+        """conf((R:x)->(R:x)) sits in the paper's 0.65-0.72 band for the
+        large regions — these are Table IIa's conf-ranked winners."""
+        region = network.schema.node_attribute("Region").values[0]
+        metrics = engine.evaluate(
+            GR(Descriptor({"Region": region}), Descriptor({"Region": region}))
+        )
+        assert metrics.confidence == pytest.approx(0.68, abs=0.05)
+
+    def test_education_marginals_match_paper_probe(self, network):
+        """Section VI-B: Secondary ≈ 19.54%, Training ≈ 1.9% of profiles."""
+        from repro.analysis.hypothesis import HypothesisExplorer
+
+        shares = HypothesisExplorer(network).value_distribution("Education")
+        assert shares["Secondary"] == pytest.approx(0.1954, abs=0.04)
+        assert shares["Training"] == pytest.approx(0.019, abs=0.02)

@@ -1,0 +1,85 @@
+"""The Fig. 1 toy network reproduces every statistic the paper quotes."""
+
+import pytest
+
+from repro.core.descriptors import GR, Descriptor
+from repro.core.metrics import MetricEngine
+from repro.datasets.toy import TOY_LINKS, TOY_NODES, toy_dating_network, toy_schema
+
+
+class TestTopology:
+    def test_fifteen_links(self):
+        assert len(TOY_LINKS) == 15
+
+    def test_fourteen_individuals(self):
+        assert len(TOY_NODES) == 14
+
+    def test_no_duplicate_links(self):
+        normalized = {frozenset(link) for link in TOY_LINKS}
+        assert len(normalized) == 15
+
+    def test_no_self_links(self):
+        assert all(u != v for u, v in TOY_LINKS)
+
+
+class TestSchema:
+    def test_edu_is_the_homophily_attribute(self):
+        schema = toy_schema()
+        assert schema.homophily_attribute_names == ("EDU",)
+
+    def test_attribute_domains_match_figure(self):
+        schema = toy_schema()
+        assert set(schema.node_attribute("SEX").values) == {"F", "M"}
+        assert set(schema.node_attribute("RACE").values) == {"Asian", "Latino", "White"}
+        assert set(schema.node_attribute("EDU").values) == {
+            "High School",
+            "College",
+            "Grad",
+        }
+
+
+class TestPaperStatistics:
+    """The full set of quoted counts, asserted as absolute numbers."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return MetricEngine(toy_dating_network())
+
+    def _count(self, engine, l, r):
+        gr = GR(Descriptor(l), Descriptor(r), Descriptor({"TYPE": "dates"}))
+        return engine.evaluate(gr)
+
+    def test_male_out_edges_14(self, engine):
+        assert self._count(engine, {"SEX": "M"}, {"SEX": "F"}).lw_count == 14
+
+    def test_male_to_asian_female_7(self, engine):
+        m = self._count(engine, {"SEX": "M"}, {"SEX": "F", "RACE": "Asian"})
+        assert m.support_count == 7
+
+    def test_asian_male_to_asian_female_0(self, engine):
+        m = self._count(
+            engine, {"SEX": "M", "RACE": "Asian"}, {"SEX": "F", "RACE": "Asian"}
+        )
+        assert m.support_count == 0
+
+    def test_grad_female_out_edges_6(self, engine):
+        m = self._count(engine, {"SEX": "F", "EDU": "Grad"}, {"SEX": "M"})
+        assert m.lw_count == 6
+
+    def test_grad_female_to_grad_male_4(self, engine):
+        m = self._count(
+            engine, {"SEX": "F", "EDU": "Grad"}, {"SEX": "M", "EDU": "Grad"}
+        )
+        assert m.support_count == 4
+
+    def test_grad_female_to_college_male_2(self, engine):
+        m = self._count(
+            engine, {"SEX": "F", "EDU": "Grad"}, {"SEX": "M", "EDU": "College"}
+        )
+        assert m.support_count == 2
+
+    def test_gr4_nhp_100_percent(self, engine):
+        m = self._count(
+            engine, {"SEX": "F", "EDU": "Grad"}, {"SEX": "M", "EDU": "College"}
+        )
+        assert m.nhp == pytest.approx(1.0)

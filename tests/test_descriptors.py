@@ -1,0 +1,170 @@
+"""Unit tests for Descriptor and GR (Section III-A definitions)."""
+
+import pytest
+
+from repro.core.descriptors import GR, Descriptor, gr_from_codes
+from repro.datasets.toy import toy_schema
+
+
+@pytest.fixture
+def schema():
+    return toy_schema()
+
+
+class TestDescriptor:
+    def test_canonical_ordering(self):
+        d1 = Descriptor([("SEX", "F"), ("EDU", "Grad")])
+        d2 = Descriptor([("EDU", "Grad"), ("SEX", "F")])
+        assert d1 == d2
+        assert hash(d1) == hash(d2)
+        assert d1.items == (("EDU", "Grad"), ("SEX", "F"))
+
+    def test_mapping_construction(self):
+        assert Descriptor({"SEX": "F"}) == Descriptor([("SEX", "F")])
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            Descriptor([("SEX", "F"), ("SEX", "M")])
+
+    def test_len_bool_iter(self):
+        empty = Descriptor()
+        assert len(empty) == 0 and not empty
+        d = Descriptor({"SEX": "F"})
+        assert len(d) == 1 and d
+        assert list(d) == [("SEX", "F")]
+
+    def test_contains_and_getitem(self):
+        d = Descriptor({"SEX": "F"})
+        assert "SEX" in d and "EDU" not in d
+        assert d["SEX"] == "F"
+        with pytest.raises(KeyError):
+            d["EDU"]
+        assert d.get("EDU") is None
+        assert d.get("EDU", "x") == "x"
+
+    def test_issubset(self):
+        small = Descriptor({"SEX": "F"})
+        big = Descriptor({"SEX": "F", "EDU": "Grad"})
+        assert small.issubset(big)
+        assert not big.issubset(small)
+        # Same attribute, different value: not a subset.
+        assert not Descriptor({"SEX": "M"}).issubset(big)
+
+    def test_extend_and_restrict(self):
+        d = Descriptor({"SEX": "F"})
+        extended = d.extend("EDU", "Grad")
+        assert extended["EDU"] == "Grad"
+        assert extended.restrict(["SEX"]) == d
+
+    def test_str(self):
+        assert str(Descriptor()) == "()"
+        assert str(Descriptor({"SEX": "F", "EDU": "Grad"})) == "(EDU:Grad, SEX:F)"
+
+
+class TestGR:
+    def test_rhs_required(self):
+        with pytest.raises(ValueError, match="RHS"):
+            GR(Descriptor({"SEX": "F"}), Descriptor())
+
+    def test_edge_attribute_name_collision_rejected(self):
+        with pytest.raises(ValueError, match="shares attribute"):
+            GR(
+                Descriptor({"SEX": "F"}),
+                Descriptor({"EDU": "Grad"}),
+                Descriptor({"SEX": "M"}),
+            )
+
+    def test_beta_needs_homophily_and_value_difference(self, schema):
+        # EDU is homophilous in the toy schema.
+        gr = GR(
+            Descriptor({"SEX": "F", "EDU": "Grad"}),
+            Descriptor({"SEX": "M", "EDU": "College"}),
+        )
+        assert gr.beta(schema) == ("EDU",)
+
+    def test_beta_empty_when_values_equal(self, schema):
+        gr = GR(Descriptor({"EDU": "Grad"}), Descriptor({"EDU": "Grad"}))
+        assert gr.beta(schema) == ()
+
+    def test_beta_empty_for_non_homophily_attribute(self, schema):
+        gr = GR(Descriptor({"SEX": "F"}), Descriptor({"SEX": "M"}))
+        assert gr.beta(schema) == ()
+
+    def test_beta_empty_when_attribute_not_on_lhs(self, schema):
+        gr = GR(Descriptor({"SEX": "F"}), Descriptor({"EDU": "College"}))
+        assert gr.beta(schema) == ()
+
+    def test_homophily_effect_rhs(self, schema):
+        gr = GR(
+            Descriptor({"EDU": "Grad", "SEX": "F"}),
+            Descriptor({"EDU": "College"}),
+        )
+        assert gr.homophily_effect_rhs(schema) == Descriptor({"EDU": "Grad"})
+
+    def test_trivial_requires_all_rhs_homophilous_and_contained(self, schema):
+        trivial = GR(Descriptor({"EDU": "Grad", "SEX": "F"}), Descriptor({"EDU": "Grad"}))
+        assert trivial.is_trivial(schema)
+        # Non-homophily value on RHS -> non-trivial even if contained.
+        nontrivial = GR(Descriptor({"SEX": "F"}), Descriptor({"SEX": "F"}))
+        assert not nontrivial.is_trivial(schema)
+        # Homophily value not contained in LHS -> non-trivial.
+        assert not GR(
+            Descriptor({"SEX": "F"}), Descriptor({"EDU": "Grad"})
+        ).is_trivial(schema)
+        # Mixed RHS with one non-homophily value -> non-trivial.
+        assert not GR(
+            Descriptor({"EDU": "Grad", "SEX": "F"}),
+            Descriptor({"EDU": "Grad", "SEX": "M"}),
+        ).is_trivial(schema)
+
+    def test_generality_partial_order(self):
+        general = GR(Descriptor({"SEX": "F"}), Descriptor({"SEX": "M"}))
+        special = GR(Descriptor({"SEX": "F", "EDU": "Grad"}), Descriptor({"SEX": "M"}))
+        assert general.is_more_general_than(special)
+        assert not special.is_more_general_than(general)
+        assert not general.is_more_general_than(general)  # strict
+
+    def test_generality_requires_same_rhs(self):
+        g1 = GR(Descriptor({"SEX": "F"}), Descriptor({"SEX": "M"}))
+        g2 = GR(
+            Descriptor({"SEX": "F", "EDU": "Grad"}), Descriptor({"SEX": "M", "EDU": "Grad"})
+        )
+        assert not g1.is_more_general_than(g2)
+
+    def test_generality_covers_edge_descriptor(self):
+        g1 = GR(Descriptor({"SEX": "F"}), Descriptor({"SEX": "M"}))
+        g2 = GR(
+            Descriptor({"SEX": "F"}), Descriptor({"SEX": "M"}), Descriptor({"TYPE": "dates"})
+        )
+        assert g1.is_more_general_than(g2)
+
+    def test_generalizations_enumerates_proper_subsets(self):
+        gr = GR(
+            Descriptor({"SEX": "F", "EDU": "Grad"}),
+            Descriptor({"SEX": "M"}),
+            Descriptor({"TYPE": "dates"}),
+        )
+        gens = list(gr.generalizations())
+        assert len(gens) == 2 ** 3 - 1
+        assert all(g.is_more_general_than(gr) for g in gens)
+        assert gr not in gens
+
+    def test_str_forms(self):
+        gr = GR(Descriptor({"SEX": "F"}), Descriptor({"SEX": "M"}))
+        assert str(gr) == "(SEX:F) --> (SEX:M)"
+        with_edge = GR(
+            Descriptor({"SEX": "F"}), Descriptor({"SEX": "M"}), Descriptor({"TYPE": "dates"})
+        )
+        assert "--(TYPE:dates)-->" in str(with_edge)
+
+    def test_sort_key_is_canonical_string(self):
+        gr = GR(Descriptor({"SEX": "F"}), Descriptor({"SEX": "M"}))
+        assert gr.sort_key() == str(gr)
+
+
+class TestGRFromCodes:
+    def test_decodes_labels(self, schema):
+        gr = gr_from_codes(schema, {"SEX": 1}, {"TYPE": 1}, {"EDU": 3})
+        assert gr.lhs == Descriptor({"SEX": "F"})
+        assert gr.edge == Descriptor({"TYPE": "dates"})
+        assert gr.rhs == Descriptor({"EDU": "Grad"})

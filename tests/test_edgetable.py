@@ -1,0 +1,47 @@
+"""Unit tests for the single-table materialization (BL1's storage model)."""
+
+from repro.data.edgetable import EdgeTable, lhs_column, rhs_column, split_column
+
+
+class TestColumnNames:
+    def test_lhs_rhs_suffixes(self):
+        assert lhs_column("EDU") == "EDU^l"
+        assert rhs_column("EDU") == "EDU^r"
+
+    def test_split_roundtrip(self):
+        assert split_column("EDU^l") == ("EDU", "L")
+        assert split_column("EDU^r") == ("EDU", "R")
+        assert split_column("W") == ("W", "W")
+
+
+class TestMaterialization:
+    def test_column_set(self, small_network):
+        table = EdgeTable(small_network)
+        assert set(table.column_names) == {"A^l", "A^r", "B^l", "B^r", "W"}
+
+    def test_row_count_is_edge_count(self, small_network):
+        table = EdgeTable(small_network)
+        assert table.num_rows == small_network.num_edges
+
+    def test_lhs_columns_replicate_source_attributes(self, small_network):
+        table = EdgeTable(small_network)
+        assert list(table.column("A^l")) == list(small_network.source_values("A"))
+        assert list(table.column("B^l")) == list(small_network.source_values("B"))
+
+    def test_rhs_columns_replicate_destination_attributes(self, small_network):
+        table = EdgeTable(small_network)
+        assert list(table.column("A^r")) == list(small_network.dest_values("A"))
+
+    def test_edge_columns_passthrough(self, small_network):
+        table = EdgeTable(small_network)
+        assert list(table.column("W")) == list(small_network.edge_column("W"))
+
+    def test_domain_sizes(self, small_network):
+        table = EdgeTable(small_network)
+        assert table.domain_sizes["A^l"] == 2
+        assert table.domain_sizes["B^r"] == 3
+        assert table.domain_sizes["W"] == 2
+
+    def test_size_cells_matches_paper_formula(self, small_network):
+        table = EdgeTable(small_network)
+        assert table.size_cells() == small_network.num_edges * (2 * 2 + 1)

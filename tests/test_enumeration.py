@@ -1,0 +1,156 @@
+"""Tests for the SFDF enumeration order (Section IV-C)."""
+
+import pytest
+
+from repro.core.enumeration import (
+    Token,
+    dynamic_rhs_order,
+    iter_subsets_sfdf,
+    static_tau,
+)
+from repro.data.schema import Attribute, Schema
+
+
+@pytest.fixture
+def two_homophily_schema():
+    """The paper's running example: A and B both homophilous, one W."""
+    return Schema(
+        node_attributes=[
+            Attribute("A", ("a1", "a2"), homophily=True),
+            Attribute("B", ("b1", "b2"), homophily=True),
+        ],
+        edge_attributes=[Attribute("W", ("w1",))],
+    )
+
+
+class TestToken:
+    def test_roles_validated(self):
+        with pytest.raises(ValueError):
+            Token("X", "A")
+
+    def test_str(self):
+        assert str(Token("L", "A")) == "A^l"
+        assert str(Token("R", "A")) == "A^r"
+        assert str(Token("W", "S")) == "S"
+
+
+class TestStaticTau:
+    def test_group_order_matches_eqn7(self, two_homophily_schema):
+        tau = static_tau(two_homophily_schema)
+        # NH^r (none), H^r, W, NH^l (none), H^l
+        assert [(t.role, t.attr) for t in tau] == [
+            ("R", "A"),
+            ("R", "B"),
+            ("W", "W"),
+            ("L", "A"),
+            ("L", "B"),
+        ]
+
+    def test_non_homophily_before_homophily(self):
+        schema = Schema(
+            node_attributes=[
+                Attribute("H", ("x",), homophily=True),
+                Attribute("N", ("x",)),
+            ]
+        )
+        tau = static_tau(schema)
+        roles = [(t.role, t.attr) for t in tau]
+        assert roles == [("R", "N"), ("R", "H"), ("L", "N"), ("L", "H")]
+
+    def test_restriction_to_node_attributes(self, two_homophily_schema):
+        tau = static_tau(two_homophily_schema, node_attributes=["B"])
+        assert {t.attr for t in tau if t.role in "LR"} == {"B"}
+
+    def test_unknown_restriction_raises(self, two_homophily_schema):
+        with pytest.raises(Exception):
+            static_tau(two_homophily_schema, node_attributes=["Z"])
+
+
+class TestDynamicRHSOrder:
+    def test_partitioning_into_nh_h1_h2(self):
+        schema = Schema(
+            node_attributes=[
+                Attribute("A", ("x",), homophily=True),
+                Attribute("B", ("x",), homophily=True),
+                Attribute("N", ("x",)),
+            ]
+        )
+        tokens = [Token("R", "A"), Token("R", "B"), Token("R", "N")]
+        # B is on the LHS -> B is H^r_2 and must come last.
+        ordered = dynamic_rhs_order(tokens, ["B"], schema)
+        assert [t.attr for t in ordered] == ["N", "A", "B"]
+
+    def test_no_lhs_means_all_h1(self):
+        schema = Schema(
+            node_attributes=[
+                Attribute("A", ("x",), homophily=True),
+                Attribute("B", ("x",), homophily=True),
+            ]
+        )
+        tokens = [Token("R", "A"), Token("R", "B")]
+        ordered = dynamic_rhs_order(tokens, [], schema)
+        assert [t.attr for t in ordered] == ["A", "B"]
+
+    def test_rejects_non_rhs_tokens(self, two_homophily_schema):
+        with pytest.raises(ValueError):
+            dynamic_rhs_order([Token("L", "A")], [], two_homophily_schema)
+
+    def test_paper_example_t8(self, two_homophily_schema):
+        """At t8 (path = {B^l}) the tail (B^r, A^r) reorders to (A^r, B^r)."""
+        ordered = dynamic_rhs_order(
+            [Token("R", "B"), Token("R", "A")], ["B"], two_homophily_schema
+        )
+        assert [t.attr for t in ordered] == ["A", "B"]
+
+
+class TestSFDFWalk:
+    def test_matches_fig3_prefix(self, two_homophily_schema):
+        """The first seven visited subsets match Fig. 3's t1..t7."""
+        # Fig. 3 uses tau = (B^r, A^r, W, B^l, A^l); our schema order
+        # gives (A^r, B^r, W, A^l, B^l) — same structure, A/B swapped.
+        tau = static_tau(two_homophily_schema)
+        visited = iter_subsets_sfdf(tau)
+        names = [tuple(str(t) for t in path) for path in visited[:7]]
+        assert names == [
+            ("A^r",),
+            ("B^r",),
+            ("B^r", "A^r"),
+            ("W",),
+            ("W", "A^r"),
+            ("W", "B^r"),
+            ("W", "B^r", "A^r"),
+        ]
+
+    def test_every_subset_exactly_once(self, two_homophily_schema):
+        tau = static_tau(two_homophily_schema)
+        visited = iter_subsets_sfdf(tau)
+        as_sets = [frozenset(path) for path in visited]
+        assert len(as_sets) == len(set(as_sets)) == 2 ** len(tau) - 1
+
+    def test_property2_subsets_before_supersets(self, two_homophily_schema):
+        tau = static_tau(two_homophily_schema)
+        visited = [frozenset(path) for path in iter_subsets_sfdf(tau)]
+        position = {s: i for i, s in enumerate(visited)}
+        for s in visited:
+            for t in visited:
+                if s < t:
+                    assert position[s] < position[t], (s, t)
+
+    def test_property1_role_order_along_paths(self, two_homophily_schema):
+        """Along any path: L tokens, then W tokens, then R tokens."""
+        tau = static_tau(two_homophily_schema)
+        rank = {"L": 0, "W": 1, "R": 2}
+        for path in iter_subsets_sfdf(tau):
+            ranks = [rank[t.role] for t in path]
+            assert ranks == sorted(ranks), path
+
+    def test_scales_to_more_attributes(self):
+        schema = Schema(
+            node_attributes=[
+                Attribute(f"X{i}", ("a",), homophily=i % 2 == 0) for i in range(3)
+            ],
+            edge_attributes=[Attribute("W", ("w",))],
+        )
+        tau = static_tau(schema)
+        visited = iter_subsets_sfdf(tau)
+        assert len(visited) == 2 ** len(tau) - 1

@@ -1,0 +1,99 @@
+"""Property tests for the generality machinery (Definition 5, condition 2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk import GeneralityIndex
+
+# Small universes so subset relations occur frequently.
+ATTRS = ["A", "B", "C"]
+VALUES = [1, 2]
+
+
+@st.composite
+def descriptor_key(draw, max_items=3):
+    names = draw(
+        st.lists(st.sampled_from(ATTRS), unique=True, max_size=max_items)
+    )
+    return tuple(sorted((name, draw(st.sampled_from(VALUES))) for name in names))
+
+
+@st.composite
+def index_and_query(draw):
+    index = GeneralityIndex()
+    entries = draw(
+        st.lists(
+            st.tuples(descriptor_key(), descriptor_key(max_items=1), descriptor_key()),
+            max_size=8,
+        )
+    )
+    for l_key, w_key, r_key in entries:
+        if r_key:
+            index.add(l_key, w_key, r_key)
+    query = draw(
+        st.tuples(descriptor_key(), descriptor_key(max_items=1), descriptor_key())
+    )
+    return index, entries, query
+
+
+def _is_strict_sub(sub, sup):
+    return set(sub) <= set(sup)
+
+
+class TestGeneralityIndexProperties:
+    @given(index_and_query())
+    @settings(max_examples=300, deadline=None)
+    def test_blocked_iff_strict_generalization_indexed(self, case):
+        """is_blocked agrees with the direct Definition 5(2) check."""
+        index, entries, (l_key, w_key, r_key) = case
+        if not r_key:
+            return
+        expected = any(
+            er == r_key
+            and _is_strict_sub(el, l_key)
+            and _is_strict_sub(ew, w_key)
+            and (el, ew) != (l_key, w_key)
+            for el, ew, er in entries
+            if er
+        )
+        assert index.is_blocked(l_key, w_key, r_key) == expected
+
+    @given(descriptor_key(), descriptor_key(max_items=1), descriptor_key())
+    @settings(max_examples=100, deadline=None)
+    def test_entry_never_blocks_itself(self, l_key, w_key, r_key):
+        if not r_key:
+            return
+        index = GeneralityIndex()
+        index.add(l_key, w_key, r_key)
+        assert not index.is_blocked(l_key, w_key, r_key)
+
+    @given(descriptor_key(), descriptor_key())
+    @settings(max_examples=100, deadline=None)
+    def test_empty_lw_entry_blocks_all_specializations(self, l_key, r_key):
+        if not r_key:
+            return
+        index = GeneralityIndex()
+        index.add((), (), r_key)
+        if l_key:
+            assert index.is_blocked(l_key, (), r_key)
+
+
+class TestGeneralizationEnumeration:
+    @given(descriptor_key(), descriptor_key(max_items=1), descriptor_key(max_items=2))
+    @settings(max_examples=100, deadline=None)
+    def test_gr_generalizations_complete_and_strict(self, l_key, w_key, r_key):
+        """GR.generalizations() yields every strict sub-selection once."""
+        from repro.core.descriptors import GR, Descriptor
+
+        if not r_key:
+            return
+        # Keys use integer values; stringify for Descriptor labels.
+        lhs = Descriptor(tuple((n, str(v)) for n, v in l_key))
+        edge = Descriptor(tuple((f"W{n}", str(v)) for n, v in w_key))
+        rhs = Descriptor(tuple((n, str(v)) for n, v in r_key))
+        gr = GR(lhs, rhs, edge)
+        gens = list(gr.generalizations())
+        assert len(gens) == 2 ** (len(lhs) + len(edge)) - 1
+        assert len(set(gens)) == len(gens)
+        for g in gens:
+            assert g.is_more_general_than(gr)

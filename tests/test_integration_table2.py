@@ -1,0 +1,157 @@
+"""End-to-end Table II reproduction at reduced scale (E2/E3 shape checks).
+
+The full-size regeneration lives in ``benchmarks/``; these tests run the
+same pipeline on smaller samples and assert the paper's *qualitative*
+claims:
+
+* the conf-ranked top list is dominated by trivial homophily GRs
+  (Table II's "4 of the top-5 GRs ranked by conf are trivially expected");
+* the nhp-ranked top list contains only non-trivial GRs and surfaces
+  the planted beyond-homophily preferences;
+* nhp-ranked results include low-confidence GRs that conf ranking would
+  bury.
+"""
+
+import pytest
+
+from repro.core.baselines import ConfidenceMiner
+from repro.core.miner import GRMiner
+from repro.datasets.dblp import synthetic_dblp
+from repro.datasets.pokec import synthetic_pokec
+
+
+@pytest.fixture(scope="module")
+def pokec():
+    return synthetic_pokec(num_sources=4000, num_edges=40_000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return synthetic_dblp(num_authors=8000, num_links=10_000, seed=11)
+
+
+class TestTable2aPokec:
+    @pytest.fixture(scope="class")
+    def results(self, pokec):
+        nhp = GRMiner(pokec, min_support=0.001, min_score=0.5, k=300).mine()
+        conf = ConfidenceMiner(pokec, min_support=0.001, min_score=0.5, k=300).mine()
+        return nhp, conf
+
+    def test_conf_top5_dominated_by_trivial_grs(self, pokec, results):
+        _, conf = results
+        trivial = [m for m in conf.top(5) if m.gr.is_trivial(pokec.schema)]
+        assert len(trivial) >= 3  # paper: 4 of 5
+
+    def test_conf_winners_are_same_region_style(self, results):
+        _, conf = results
+        same_value = [
+            m
+            for m in conf.top(5)
+            if any(m.gr.lhs.get(name) == value for name, value in m.gr.rhs)
+        ]
+        assert same_value
+
+    def test_nhp_top_grs_all_non_trivial(self, pokec, results):
+        nhp, _ = results
+        assert all(not m.gr.is_trivial(pokec.schema) for m in nhp)
+
+    def test_nhp_surfaces_education_preferences(self, results):
+        nhp, _ = results
+        tops = [str(m.gr) for m in nhp.top(20)]
+        assert any(
+            "Education:Basic" in t and "Education:Secondary" in t for t in tops
+        ), tops
+
+    def test_nhp_surfaces_chat_to_good_friend(self, results):
+        nhp, _ = results
+        tops = [str(m.gr) for m in nhp.top(20)]
+        assert any(
+            "Looking-For:Chat" in t and "Looking-For:Good Friend" in t for t in tops
+        )
+
+    def test_nhp_list_contains_low_confidence_grs(self, results):
+        """GRs found *because* their nhp is high despite low conf."""
+        nhp, _ = results
+        assert any(
+            m.metrics.confidence < 0.4 and m.metrics.nhp >= 0.5 for m in nhp.top(20)
+        )
+
+    def test_p207_style_pattern_qualifies(self, pokec):
+        """The P207 pattern passes the paper's thresholds and is mined.
+
+        (Its exact rank depends on how many stronger multi-attribute
+        combinations the synthetic sample produces — the paper found it
+        at rank 207 of 300; we assert membership in the full qualifying
+        set rather than a fixed prefix.)"""
+        full = GRMiner(pokec, min_support=0.001, min_score=0.5, k=None).mine()
+        assert any(
+            m.gr.lhs.get("Age") == "25-34" and m.gr.rhs.get("Age") == "18-24"
+            for m in full
+        )
+
+
+class TestTable2bDBLP:
+    @pytest.fixture(scope="class")
+    def results(self, dblp):
+        nhp = GRMiner(dblp, min_support=0.001, min_score=0.5, k=20).mine()
+        conf = ConfidenceMiner(dblp, min_support=0.001, min_score=0.5, k=20).mine()
+        return nhp, conf
+
+    def test_conf_top_is_same_area(self, results):
+        _, conf = results
+        top = conf.top(3)
+        assert any(
+            m.gr.lhs.get("Area") == m.gr.rhs.get("Area") is not None for m in top
+        )
+
+    def test_nhp_finds_poor_preference(self, results):
+        """D1/D3/D5: Poor-productivity destinations dominate."""
+        nhp, _ = results
+        assert any(m.gr.rhs.get("Productivity") == "Poor" for m in nhp.top(10))
+
+    def test_nhp_finds_db_often_dm(self, results):
+        """D2: the interdisciplinary DB --often--> DM tie."""
+        nhp, _ = results
+        assert any(
+            m.gr.lhs.get("Area") == "DB"
+            and m.gr.rhs.get("Area") == "DM"
+            and m.gr.edge.get("Strength") == "often"
+            for m in nhp
+        ), [str(m.gr) for m in nhp]
+
+    def test_d2_would_not_be_found_by_conf(self, results, dblp):
+        """D2's conf ≈ 7% is far below the 50% minConf the paper uses."""
+        from repro.core.descriptors import GR as GRcls, Descriptor
+        from repro.core.metrics import MetricEngine
+
+        engine = MetricEngine(dblp)
+        d2 = GRcls(
+            Descriptor({"Area": "DB"}),
+            Descriptor({"Area": "DM"}),
+            Descriptor({"Strength": "often"}),
+        )
+        metrics = engine.evaluate(d2)
+        assert metrics.confidence < 0.5 <= metrics.nhp
+
+
+class TestDynamicThresholdEffect:
+    def test_topk_pruning_reduces_examined_grs(self, dblp):
+        """Fig. 4's GRMiner(k) vs GRMiner gap, as search effort."""
+        with_k = GRMiner(dblp, min_support=0.001, min_score=0.0, k=5).mine()
+        without_k = GRMiner(
+            dblp, min_support=0.001, min_score=0.0, k=5, push_topk=False
+        ).mine()
+        assert with_k.stats.grs_examined <= without_k.stats.grs_examined
+
+    def test_nhp_pruning_reduces_examined_grs(self, dblp):
+        """Fig. 4b's GRMiner vs BL2 gap."""
+        pruned = GRMiner(dblp, min_support=0.001, min_score=0.5, k=None).mine()
+        unpruned = GRMiner(
+            dblp,
+            min_support=0.001,
+            min_score=0.5,
+            k=None,
+            push_score_pruning=False,
+        ).mine()
+        assert pruned.stats.grs_examined < unpruned.stats.grs_examined
+        assert [str(m.gr) for m in pruned] == [str(m.gr) for m in unpruned]

@@ -1,0 +1,158 @@
+"""Section VII alternative metrics and the post-processing miner."""
+
+import math
+
+import pytest
+
+from repro.core.descriptors import GR, Descriptor
+from repro.core.interestingness import (
+    AlternativeMetricMiner,
+    AlternativeMetrics,
+    conviction,
+    evaluate_alternatives,
+    gain,
+    laplace,
+    lift,
+    piatetsky_shapiro,
+)
+from repro.core.metrics import GRMetrics, MetricEngine
+
+
+class TestMetricFunctions:
+    def test_laplace_eqn10(self):
+        # (supp*|E| + 1) / (supp_lw*|E| + k) with counts 5 and 10, k=2.
+        assert laplace(0.05, 0.10, 100, k=2) == pytest.approx(6 / 12)
+
+    def test_laplace_k_validated(self):
+        with pytest.raises(ValueError):
+            laplace(0.1, 0.2, 100, k=1)
+
+    def test_gain_eqn11(self):
+        assert gain(0.05, 0.10, theta=0.5) == pytest.approx(0.0)
+        assert gain(0.08, 0.10, theta=0.5) == pytest.approx(0.03)
+
+    def test_gain_theta_validated(self):
+        with pytest.raises(ValueError):
+            gain(0.1, 0.2, theta=1.5)
+
+    def test_piatetsky_shapiro_eqn12(self):
+        # Zero when RHS independent of LHS.
+        assert piatetsky_shapiro(0.06, 0.2, 0.3) == pytest.approx(0.0)
+        assert piatetsky_shapiro(0.10, 0.2, 0.3) == pytest.approx(0.04)
+
+    def test_conviction_eqn13(self):
+        # conf = 0.5, supp_r = 0.4 -> (1-0.4)/(1-0.5) = 1.2.
+        assert conviction(0.5, 0.4) == pytest.approx(1.2)
+
+    def test_conviction_infinite_at_full_confidence(self):
+        assert math.isinf(conviction(1.0, 0.4))
+
+    def test_lift_eqn14(self):
+        assert lift(0.6, 0.3) == pytest.approx(2.0)
+        assert lift(0.3, 0.3) == pytest.approx(1.0)
+
+    def test_lift_zero_base_rate(self):
+        assert lift(0.5, 0.0) == 0.0
+
+
+class TestAlternativeMetrics:
+    def test_compute_from_base_metrics(self):
+        base = GRMetrics(support_count=10, lw_count=20, homophily_count=0, num_edges=100)
+        alt = AlternativeMetrics.compute(base, r_count=30)
+        assert alt.supp_r == pytest.approx(0.3)
+        assert alt.laplace == pytest.approx(11 / 22)
+        assert alt.gain == pytest.approx((10 - 0.5 * 20) / 100)
+        assert alt.piatetsky_shapiro == pytest.approx(0.1 - 0.2 * 0.3)
+        assert alt.conviction == pytest.approx((1 - 0.3) / (1 - 0.5))
+        assert alt.lift == pytest.approx(0.5 / 0.3)
+
+    def test_value_accessor(self):
+        base = GRMetrics(support_count=10, lw_count=20, homophily_count=0, num_edges=100)
+        alt = AlternativeMetrics.compute(base, r_count=30)
+        assert alt.value("lift") == alt.lift
+        with pytest.raises(ValueError):
+            alt.value("nonsense")
+
+
+class TestEvaluateAlternatives:
+    def test_on_toy_gr1(self, toy_network):
+        gr1 = GR(
+            Descriptor({"SEX": "M"}),
+            Descriptor({"SEX": "F", "RACE": "Asian"}),
+            Descriptor({"TYPE": "dates"}),
+        )
+        alt = evaluate_alternatives(toy_network, gr1)
+        engine = MetricEngine(toy_network)
+        r_count = engine.rhs_support_count(gr1.rhs)
+        assert alt.supp_r == pytest.approx(r_count / 30)
+        # lift > 1: men reach Asian women above base rate.
+        assert alt.lift > 1.0
+
+
+class TestAlternativeMetricMiner:
+    @pytest.mark.parametrize("metric", ["lift", "conviction", "piatetsky_shapiro"])
+    def test_scores_match_direct_evaluation(self, toy_network, metric):
+        result = AlternativeMetricMiner(
+            toy_network, metric=metric, min_support=2, min_score=0.0, k=10
+        ).mine()
+        assert result
+        for mined in result:
+            direct = evaluate_alternatives(toy_network, mined.gr)
+            assert mined.score == pytest.approx(direct.value(metric))
+
+    def test_ranking_is_descending(self, toy_network):
+        result = AlternativeMetricMiner(
+            toy_network, metric="lift", min_support=2, k=None
+        ).mine()
+        scores = [m.score for m in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_threshold_respected(self, toy_network):
+        result = AlternativeMetricMiner(
+            toy_network, metric="lift", min_support=2, min_score=1.5, k=None
+        ).mine()
+        assert all(m.score >= 1.5 for m in result)
+
+    def test_generality_applied(self, toy_network):
+        result = AlternativeMetricMiner(
+            toy_network, metric="lift", min_support=2, min_score=1.0, k=None
+        ).mine()
+        identities = {(m.gr.lhs, m.gr.edge, m.gr.rhs) for m in result}
+        for m in result:
+            for g in m.gr.generalizations():
+                assert (g.lhs, g.edge, g.rhs) not in identities
+
+    def test_generality_can_be_disabled(self, toy_network):
+        with_g = AlternativeMetricMiner(
+            toy_network, metric="lift", min_support=2, min_score=1.0, k=None
+        ).mine()
+        without_g = AlternativeMetricMiner(
+            toy_network,
+            metric="lift",
+            min_support=2,
+            min_score=1.0,
+            k=None,
+            apply_generality=False,
+        ).mine()
+        assert len(without_g) >= len(with_g)
+
+    def test_unknown_metric_rejected(self, toy_network):
+        with pytest.raises(ValueError):
+            AlternativeMetricMiner(toy_network, metric="magic")
+
+    def test_lift_reranks_skewed_rhs_down(self, toy_network):
+        """The paper's D1 observation: lift discounts popular RHS values.
+
+        A GR pointing at a dominant value can top the conf ranking while
+        its lift stays near 1."""
+        from repro.core.baselines import ConfidenceMiner
+
+        conf_result = ConfidenceMiner(
+            toy_network, min_support=3, min_score=0.0, k=None, include_trivial=False
+        ).mine()
+        lift_result = AlternativeMetricMiner(
+            toy_network, metric="lift", min_support=3, min_score=0.0, k=None
+        ).mine()
+        conf_order = [str(m.gr) for m in conf_result]
+        lift_order = [str(m.gr) for m in lift_result]
+        assert conf_order != lift_order

@@ -1,0 +1,167 @@
+"""Property-based tests of the metric theorems (Theorems 1 and 2).
+
+Random GRs on random networks must satisfy:
+
+* Theorem 1: when supp > 0 the nhp denominator is positive and
+  nhp ∈ [0, 1];
+* Remark 1: β = ∅ ⇒ nhp = conf, and β ≠ ∅ ⇒ nhp ≥ conf;
+* Theorem 2(1): adding any value never increases support;
+* Theorem 2(2): with β ≠ ∅, adding an RHS value never increases nhp;
+* Theorem 2(3): with β = ∅, adding a non-homophily (or
+  homophily-not-in-LHS) RHS value never increases nhp.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.descriptors import GR, Descriptor
+from repro.core.metrics import MetricEngine
+from repro.datasets.random_graphs import random_attributed_network, random_schema
+
+# A pool of cached engines over varied random networks.
+_ENGINES = {}
+
+
+def _engine(seed: int) -> MetricEngine:
+    if seed not in _ENGINES:
+        schema = random_schema(
+            num_node_attrs=3, num_edge_attrs=1, max_domain=3, num_homophily=2, seed=seed
+        )
+        network = random_attributed_network(
+            schema,
+            num_nodes=25,
+            num_edges=150,
+            homophily_strength=0.4,
+            null_fraction=0.1,
+            seed=seed,
+        )
+        _ENGINES[seed] = MetricEngine(network)
+    return _ENGINES[seed]
+
+
+def _random_gr(engine: MetricEngine, draw) -> GR:
+    schema = engine.schema
+    node_names = list(schema.node_attribute_names)
+
+    def descriptor(names, kind):
+        items = []
+        for name in names:
+            attr = schema.attribute(name)
+            value_index = draw(st.integers(0, attr.domain_size))
+            if value_index > 0:
+                items.append((name, attr.values[value_index - 1]))
+        return Descriptor(tuple(items))
+
+    lhs = descriptor(node_names, "node")
+    rhs = descriptor(node_names, "node")
+    edge = descriptor(list(schema.edge_attribute_names), "edge")
+    if not rhs:
+        name = node_names[0]
+        attr = schema.attribute(name)
+        rhs = Descriptor(((name, attr.values[0]),))
+    return GR(lhs, rhs, edge)
+
+
+@st.composite
+def gr_and_engine(draw):
+    seed = draw(st.integers(0, 7))
+    engine = _engine(seed)
+    return engine, _random_gr(engine, draw)
+
+
+class TestTheorem1:
+    @given(gr_and_engine())
+    @settings(max_examples=200, deadline=None)
+    def test_nhp_in_unit_interval(self, case):
+        engine, gr = case
+        metrics = engine.evaluate(gr)
+        if metrics.support_count > 0:
+            assert metrics.lw_count - metrics.homophily_count > 0
+            assert 0.0 <= metrics.nhp <= 1.0
+
+    @given(gr_and_engine())
+    @settings(max_examples=200, deadline=None)
+    def test_remark1_beta_relationship(self, case):
+        engine, gr = case
+        metrics = engine.evaluate(gr)
+        if metrics.beta == ():
+            assert metrics.nhp == pytest.approx(metrics.confidence)
+        elif metrics.support_count > 0:
+            assert metrics.nhp >= metrics.confidence - 1e-12
+
+    @given(gr_and_engine())
+    @settings(max_examples=100, deadline=None)
+    def test_support_consistency(self, case):
+        engine, gr = case
+        metrics = engine.evaluate(gr)
+        assert 0 <= metrics.support_count <= metrics.lw_count <= metrics.num_edges
+        assert 0 <= metrics.homophily_count <= metrics.lw_count
+
+
+class TestTheorem2:
+    @given(gr_and_engine(), st.integers(0, 2), st.integers(1, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_adding_rhs_value_never_increases_support(self, case, attr_i, value_i):
+        engine, gr = case
+        schema = engine.schema
+        name = schema.node_attribute_names[attr_i % len(schema.node_attribute_names)]
+        attr = schema.attribute(name)
+        if name in gr.rhs:
+            return
+        value = attr.values[(value_i - 1) % attr.domain_size]
+        extended = GR(gr.lhs, gr.rhs.extend(name, value), gr.edge)
+        assert (
+            engine.evaluate(extended).support_count
+            <= engine.evaluate(gr).support_count
+        )
+
+    @given(gr_and_engine(), st.integers(0, 2), st.integers(1, 3))
+    @settings(max_examples=300, deadline=None)
+    def test_nhp_antimonotone_in_safe_cases(self, case, attr_i, value_i):
+        """Theorem 2(2) and 2(3): the cases where nhp cannot increase."""
+        engine, gr = case
+        schema = engine.schema
+        name = schema.node_attribute_names[attr_i % len(schema.node_attribute_names)]
+        attr = schema.attribute(name)
+        if name in gr.rhs:
+            return
+        value = attr.values[(value_i - 1) % attr.domain_size]
+        extended = GR(gr.lhs, gr.rhs.extend(name, value), gr.edge)
+
+        base = engine.evaluate(gr)
+        if base.support_count == 0:
+            return
+        beta_nonempty = base.beta != ()
+        addition_is_safe = beta_nonempty or not (
+            schema.is_homophily(name) and name in gr.lhs and gr.lhs[name] != value
+        )
+        if addition_is_safe:
+            assert engine.evaluate(extended).nhp <= base.nhp + 1e-12
+
+
+class TestRemark2:
+    """The documented failure mode: adding an H^r_2 value CAN raise nhp."""
+
+    def test_counterexample_exists_on_toy_network(self):
+        from repro.datasets.toy import toy_dating_network
+
+        engine = MetricEngine(toy_dating_network())
+        # GR with beta = empty: nhp = conf = 2/6.
+        base = GR(
+            Descriptor({"EDU": "Grad", "SEX": "F"}),
+            Descriptor({"RACE": "Latino"}),
+            Descriptor({"TYPE": "dates"}),
+        )
+        # Adding EDU:College (homophily attribute present on the LHS
+        # with a different value) flips beta to {EDU}; nhp RISES from
+        # 1/3 to 1/2 — exactly why plain tree enumeration cannot prune.
+        extended = GR(
+            Descriptor({"EDU": "Grad", "SEX": "F"}),
+            Descriptor({"RACE": "Latino", "EDU": "College"}),
+            Descriptor({"TYPE": "dates"}),
+        )
+        base_m, ext_m = engine.evaluate(base), engine.evaluate(extended)
+        assert base_m.nhp == pytest.approx(2 / 6)
+        assert ext_m.nhp == pytest.approx(1 / 2)
+        assert ext_m.nhp > base_m.nhp

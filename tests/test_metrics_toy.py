@@ -1,0 +1,118 @@
+"""E1: the exact ground truths of Examples 1 and 2 on the Fig. 1 network.
+
+These numbers are quoted verbatim in the paper; they pin down the
+semantics of supp, conf, β, the homophily effect and nhp.
+"""
+
+import pytest
+
+from repro.core.descriptors import GR, Descriptor
+from repro.core.metrics import MetricEngine
+
+
+@pytest.fixture(scope="module")
+def engine(request):
+    from repro.datasets.toy import toy_dating_network
+
+    return MetricEngine(toy_dating_network())
+
+
+def _gr(l, r, w={"TYPE": "dates"}):
+    return GR(Descriptor(l), Descriptor(r), Descriptor(w))
+
+
+GR1 = _gr({"SEX": "M"}, {"SEX": "F", "RACE": "Asian"})
+GR2 = _gr({"SEX": "M", "RACE": "Asian"}, {"SEX": "F", "RACE": "Asian"})
+GR3 = _gr({"SEX": "F", "EDU": "Grad"}, {"SEX": "M", "EDU": "Grad"})
+GR4 = _gr({"SEX": "F", "EDU": "Grad"}, {"SEX": "M", "EDU": "College"})
+
+
+class TestGR1:
+    """Example 1: men prefer Asian women — supp 7, conf 7/14."""
+
+    def test_support_count(self, engine):
+        assert engine.evaluate(GR1).support_count == 7
+
+    def test_lw_count_is_male_out_edges(self, engine):
+        assert engine.evaluate(GR1).lw_count == 14
+
+    def test_confidence(self, engine):
+        assert engine.evaluate(GR1).confidence == pytest.approx(7 / 14)
+
+    def test_beta_empty_so_nhp_equals_conf(self, engine):
+        m = engine.evaluate(GR1)
+        assert m.beta == ()
+        assert m.nhp == m.confidence
+
+
+class TestGR2:
+    """Example 1: Asian men are the exception — supp 0, conf 0."""
+
+    def test_no_support(self, engine):
+        m = engine.evaluate(GR2)
+        assert m.support_count == 0
+        assert m.confidence == 0.0
+        assert m.nhp == 0.0
+
+
+class TestGR3:
+    """Example 2: Grad females prefer Grad males — supp 4, conf 4/6."""
+
+    def test_counts(self, engine):
+        m = engine.evaluate(GR3)
+        assert m.support_count == 4
+        assert m.lw_count == 6
+
+    def test_confidence(self, engine):
+        assert engine.evaluate(GR3).confidence == pytest.approx(4 / 6)
+
+    def test_beta_empty_because_values_match(self, engine):
+        # EDU appears on both sides with the *same* value: not in beta.
+        assert engine.evaluate(GR3).beta == ()
+
+
+class TestGR4:
+    """Example 2 + Section III-B: the motivating nhp computation."""
+
+    def test_counts(self, engine):
+        m = engine.evaluate(GR4)
+        assert m.support_count == 2
+        assert m.lw_count == 6
+
+    def test_confidence_is_low(self, engine):
+        assert engine.evaluate(GR4).confidence == pytest.approx(2 / 6)
+
+    def test_beta_is_edu(self, engine):
+        assert engine.evaluate(GR4).beta == ("EDU",)
+
+    def test_homophily_effect_support_is_gr3_like(self, engine):
+        # supp(l -w-> l[beta]) = 4: the GR3 homophily effect.
+        assert engine.evaluate(GR4).homophily_count == 4
+
+    def test_nhp_is_one(self, engine):
+        # nhp = 2 / (6 - 4) = 100%, the paper's headline computation.
+        assert engine.evaluate(GR4).nhp == pytest.approx(1.0)
+
+    def test_nhp_boosts_rank_over_confidence(self, engine):
+        m3, m4 = engine.evaluate(GR3), engine.evaluate(GR4)
+        assert m4.confidence < m3.confidence  # conf buries GR4 ...
+        assert m4.nhp > m3.nhp  # ... nhp surfaces it
+
+
+class TestEngineBasics:
+    def test_rhs_support_count(self, engine):
+        # Edges into (SEX:F, RACE:Asian) nodes: GR1's 7 plus any from females.
+        count = engine.rhs_support_count(Descriptor({"SEX": "F", "RACE": "Asian"}))
+        assert count >= 7
+
+    def test_unknown_attribute_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.evaluate(_gr({"JOB": "x"}, {"SEX": "F"}, {}))
+
+    def test_count_with_empty_descriptors(self, engine):
+        assert engine.count(Descriptor(), Descriptor(), Descriptor()) == 30
+
+    def test_shortcut_methods(self, engine):
+        assert engine.support(GR1) == pytest.approx(7 / 30)
+        assert engine.confidence(GR1) == pytest.approx(0.5)
+        assert engine.nhp(GR4) == pytest.approx(1.0)

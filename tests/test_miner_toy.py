@@ -1,0 +1,175 @@
+"""GRMiner behaviour on the Fig. 1 toy network."""
+
+import pytest
+
+from repro.core.descriptors import GR, Descriptor
+from repro.core.miner import GRMiner, mine_top_k
+
+
+class TestBasicMining:
+    def test_gr4_is_found_with_perfect_nhp(self, toy_network):
+        result = GRMiner(toy_network, min_support=2, min_score=0.9, k=None).mine()
+        gr4 = GR(
+            Descriptor({"SEX": "F", "EDU": "Grad"}),
+            Descriptor({"SEX": "M", "EDU": "College"}),
+            Descriptor({"TYPE": "dates"}),
+        )
+        # GR4 itself is blocked by its generalization without the edge
+        # descriptor / SEX on RHS; some generalization of it must appear.
+        found = [m for m in result if m.metrics.nhp == pytest.approx(1.0)]
+        assert found
+        assert any(
+            m.gr.rhs.get("EDU") == "College" and m.gr.lhs.get("EDU") == "Grad"
+            for m in found
+        )
+
+    def test_trivial_grs_never_output(self, toy_network):
+        result = GRMiner(toy_network, min_support=1, min_score=0.0, k=None).mine()
+        schema = toy_network.schema
+        assert all(not m.gr.is_trivial(schema) for m in result)
+
+    def test_results_sorted_by_rank(self, toy_network):
+        result = GRMiner(toy_network, min_support=1, min_score=0.0, k=None).mine()
+        keys = [(-m.score, -m.metrics.support_count, m.gr.sort_key()) for m in result]
+        assert keys == sorted(keys)
+
+    def test_all_results_meet_thresholds(self, toy_network):
+        result = GRMiner(toy_network, min_support=3, min_score=0.6, k=None).mine()
+        for m in result:
+            assert m.metrics.support_count >= 3
+            assert m.score >= 0.6
+
+    def test_results_are_maximally_general(self, toy_network):
+        result = GRMiner(toy_network, min_support=2, min_score=0.5, k=None).mine()
+        identities = {(m.gr.lhs, m.gr.edge, m.gr.rhs) for m in result}
+        for m in result:
+            for g in m.gr.generalizations():
+                assert (g.lhs, g.edge, g.rhs) not in identities
+
+    def test_empty_lhs_excluded_by_default(self, toy_network):
+        result = GRMiner(toy_network, min_support=1, min_score=0.0, k=None).mine()
+        assert all(len(m.gr.lhs) > 0 for m in result)
+
+    def test_empty_lhs_admitted_when_allowed(self, toy_network):
+        result = GRMiner(
+            toy_network, min_support=1, min_score=0.0, k=None, allow_empty_lhs=True
+        ).mine()
+        assert any(len(m.gr.lhs) == 0 for m in result)
+
+    def test_metrics_agree_with_direct_evaluation(self, toy_network):
+        from repro.core.metrics import MetricEngine
+
+        engine = MetricEngine(toy_network)
+        result = GRMiner(toy_network, min_support=1, min_score=0.3, k=None).mine()
+        for m in result:
+            direct = engine.evaluate(m.gr)
+            assert direct.support_count == m.metrics.support_count
+            assert direct.lw_count == m.metrics.lw_count
+            assert direct.homophily_count == m.metrics.homophily_count
+            assert direct.nhp == pytest.approx(m.metrics.nhp)
+
+
+class TestParameters:
+    def test_fractional_min_support(self, toy_network):
+        # 0.1 of 30 edges = 3.
+        miner = GRMiner(toy_network, min_support=0.1)
+        assert miner.abs_min_support == 3
+
+    def test_absolute_min_support(self, toy_network):
+        assert GRMiner(toy_network, min_support=5).abs_min_support == 5
+
+    def test_zero_min_support_clamped_to_one(self, toy_network):
+        assert GRMiner(toy_network, min_support=0).abs_min_support == 1
+
+    def test_invalid_min_support_rejected(self, toy_network):
+        with pytest.raises(ValueError):
+            GRMiner(toy_network, min_support=1.5)
+        with pytest.raises(ValueError):
+            GRMiner(toy_network, min_support=-2)
+        with pytest.raises(ValueError):
+            GRMiner(toy_network, min_support=True)
+
+    def test_invalid_rank_by_rejected(self, toy_network):
+        with pytest.raises(ValueError, match="rank_by"):
+            GRMiner(toy_network, rank_by="lift")
+
+    def test_invalid_min_score_rejected(self, toy_network):
+        with pytest.raises(ValueError):
+            GRMiner(toy_network, min_score=1.5)
+
+    def test_gain_allows_negative_threshold(self, toy_network):
+        GRMiner(toy_network, rank_by="gain", min_score=-0.5)  # no raise
+
+    def test_laplace_k_validated(self, toy_network):
+        with pytest.raises(ValueError, match="laplace_k"):
+            GRMiner(toy_network, laplace_k=1)
+
+    def test_node_attribute_restriction(self, toy_network):
+        result = GRMiner(
+            toy_network, min_support=1, min_score=0.0, k=None, node_attributes=["SEX"]
+        ).mine()
+        used = {
+            name for m in result for name, _ in tuple(m.gr.lhs) + tuple(m.gr.rhs)
+        }
+        assert used <= {"SEX"}
+
+    def test_descriptor_length_caps(self, toy_network):
+        result = GRMiner(
+            toy_network,
+            min_support=1,
+            min_score=0.0,
+            k=None,
+            max_lhs_attrs=1,
+            max_rhs_attrs=1,
+        ).mine()
+        assert all(len(m.gr.lhs) <= 1 and len(m.gr.rhs) <= 1 for m in result)
+
+    def test_params_echoed_in_result(self, toy_network):
+        result = GRMiner(toy_network, min_support=2, min_score=0.5, k=7).mine()
+        assert result.params["k"] == 7
+        assert result.params["abs_min_support"] == 2
+
+
+class TestStats:
+    def test_stats_populated(self, toy_network):
+        result = GRMiner(toy_network, min_support=2, min_score=0.5, k=None).mine()
+        stats = result.stats
+        assert stats.grs_examined > 0
+        assert stats.lw_nodes > 0
+        assert stats.candidates >= len(result)
+        assert stats.runtime_seconds > 0
+
+    def test_nhp_pruning_reduces_work(self, toy_network):
+        strict = GRMiner(toy_network, min_support=1, min_score=0.9, k=None).mine()
+        loose = GRMiner(toy_network, min_support=1, min_score=0.0, k=None).mine()
+        assert strict.stats.grs_examined <= loose.stats.grs_examined
+
+    def test_pruning_disabled_examines_more(self, toy_network):
+        pruned = GRMiner(toy_network, min_support=1, min_score=0.8, k=None).mine()
+        unpruned = GRMiner(
+            toy_network,
+            min_support=1,
+            min_score=0.8,
+            k=None,
+            push_score_pruning=False,
+        ).mine()
+        assert unpruned.stats.grs_examined >= pruned.stats.grs_examined
+        # Same output either way: pruning is lossless (Theorem 3).
+        assert [(str(a.gr), a.score) for a in pruned] == [
+            (str(b.gr), b.score) for b in unpruned
+        ]
+
+
+class TestMineTopK:
+    def test_wrapper_defaults(self, toy_network):
+        result = mine_top_k(toy_network, k=5, min_support=2, min_nhp=0.5)
+        assert len(result) <= 5
+        assert all(m.metrics.nhp >= 0.5 for m in result)
+
+    def test_result_container_api(self, toy_network):
+        result = mine_top_k(toy_network, k=5, min_support=2, min_nhp=0.5)
+        assert len(result.top(2)) <= 2
+        assert result.find(result[0].gr) is result[0]
+        missing = GR(Descriptor({"SEX": "F"}), Descriptor({"RACE": "Asian"}))
+        assert result.find(missing) is None or str(result.find(missing).gr) == str(missing)
+        assert "MiningResult" in str(result)

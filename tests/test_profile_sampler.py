@@ -1,0 +1,97 @@
+"""The profile-driven generation primitives behind the synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets._profile_sampler import (
+    ProfilePool,
+    draw_conditional,
+    normalize_rows,
+)
+
+
+class TestNormalizeRows:
+    def test_rows_sum_to_one(self):
+        matrix = normalize_rows(np.array([[1.0, 3.0], [2.0, 2.0]]))
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize_rows(np.array([[1.0, -0.5]]))
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ValueError):
+            normalize_rows(np.array([[0.0, 0.0]]))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            normalize_rows(np.array([1.0, 2.0]))
+
+
+class TestDrawConditional:
+    def test_deterministic_rows(self):
+        rng = np.random.default_rng(0)
+        matrix = np.array([[1.0, 0.0], [0.0, 1.0]])
+        given = np.array([0, 1, 0, 1])
+        drawn = draw_conditional(rng, matrix, given)
+        assert list(drawn) == [0, 1, 0, 1]
+
+    def test_distribution_converges(self):
+        rng = np.random.default_rng(1)
+        matrix = np.array([[0.2, 0.8]])
+        drawn = draw_conditional(rng, matrix, np.zeros(20_000, dtype=int))
+        assert drawn.mean() == pytest.approx(0.8, abs=0.02)
+
+    def test_conditional_rows_respected(self):
+        rng = np.random.default_rng(2)
+        matrix = np.array([[0.9, 0.1], [0.1, 0.9]])
+        given = np.repeat([0, 1], 10_000)
+        drawn = draw_conditional(rng, matrix, given)
+        assert drawn[:10_000].mean() == pytest.approx(0.1, abs=0.02)
+        assert drawn[10_000:].mean() == pytest.approx(0.9, abs=0.02)
+
+
+class TestProfilePool:
+    def test_seed_nodes_get_sequential_indices(self):
+        pool = ProfilePool(np.random.default_rng(0), mean_in_degree=4)
+        ids = pool.add_seed_nodes(np.array([[1, 2], [3, 4]]))
+        assert list(ids) == [0, 1]
+        assert pool.profiles == [(1, 2), (3, 4)]
+
+    def test_resolve_returns_nodes_with_exact_profile(self):
+        pool = ProfilePool(np.random.default_rng(0), mean_in_degree=4)
+        profiles = np.array([[1, 1], [2, 2], [1, 1], [1, 1]])
+        ids = pool.resolve(profiles)
+        for row, node in zip(profiles, ids):
+            assert pool.profiles[node] == tuple(row)
+
+    def test_mean_in_degree_controls_reuse(self):
+        rng = np.random.default_rng(3)
+        pool = ProfilePool(rng, mean_in_degree=10)
+        profiles = np.tile(np.array([[1, 1]]), (5000, 1))
+        ids = pool.resolve(profiles)
+        distinct = len(set(int(i) for i in ids))
+        assert distinct == pytest.approx(500, rel=0.3)
+
+    def test_per_edge_create_probability(self):
+        rng = np.random.default_rng(4)
+        pool = ProfilePool(rng, mean_in_degree=2)
+        profiles = np.tile(np.array([[7, 7]]), (4000, 1))
+        hub_ids = pool.resolve(profiles, create_probability=np.full(4000, 0.01))
+        assert len(set(int(i) for i in hub_ids)) < 120  # hubs, not 2000 nodes
+
+    def test_mean_in_degree_validated(self):
+        with pytest.raises(ValueError):
+            ProfilePool(np.random.default_rng(0), mean_in_degree=0.5)
+
+    def test_node_columns_shape(self):
+        pool = ProfilePool(np.random.default_rng(0))
+        pool.add_seed_nodes(np.array([[1, 2, 3], [4, 5, 6]]))
+        columns = pool.node_columns(3)
+        assert len(columns) == 3
+        assert list(columns[1]) == [2, 5]
+
+    def test_node_columns_empty_pool(self):
+        pool = ProfilePool(np.random.default_rng(0))
+        columns = pool.node_columns(2)
+        assert all(col.size == 0 for col in columns)

@@ -1,0 +1,140 @@
+"""Result containers, exports and the bench harness."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.summary import result_to_csv, result_to_json
+from repro.bench.harness import algorithm_factories, format_series, run_series
+from repro.core.descriptors import GR, Descriptor
+from repro.core.metrics import GRMetrics
+from repro.core.miner import GRMiner
+from repro.core.results import MinedGR, MiningResult, MiningStats
+
+
+def _mined(name: str, score: float, support: int = 3) -> MinedGR:
+    return MinedGR(
+        gr=GR(Descriptor({"A": name}), Descriptor({"B": name})),
+        metrics=GRMetrics(
+            support_count=support, lw_count=10, homophily_count=1, num_edges=100
+        ),
+        score=score,
+    )
+
+
+class TestMiningStats:
+    def test_as_dict_roundtrip(self):
+        stats = MiningStats(lw_nodes=3, grs_examined=10, runtime_seconds=0.5)
+        d = stats.as_dict()
+        assert d["lw_nodes"] == 3
+        assert d["grs_examined"] == 10
+        assert d["runtime_seconds"] == 0.5
+
+
+class TestMiningResult:
+    def test_container_protocol(self):
+        result = MiningResult(grs=[_mined("x", 0.9), _mined("y", 0.8)])
+        assert len(result) == 2
+        assert [m.score for m in result] == [0.9, 0.8]
+        assert result[1].score == 0.8
+        assert len(result.top(1)) == 1
+
+    def test_find(self):
+        entry = _mined("x", 0.9)
+        result = MiningResult(grs=[entry])
+        assert result.find(entry.gr) is entry
+        assert result.find(_mined("zz", 0.1).gr) is None
+
+    def test_str_lists_entries(self):
+        result = MiningResult(grs=[_mined("x", 0.9)])
+        text = str(result)
+        assert "1." in text and "(A:x)" in text
+
+
+class TestExports:
+    def test_csv_export(self, toy_network, tmp_path):
+        result = GRMiner(toy_network, min_support=2, min_score=0.5, k=5).mine()
+        path = result_to_csv(result, tmp_path / "out.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(result)
+        assert rows[0]["rank"] == "1"
+        assert float(rows[0]["nhp"]) == pytest.approx(result[0].metrics.nhp)
+
+    def test_csv_export_empty_result(self, tmp_path):
+        path = result_to_csv(MiningResult(grs=[]), tmp_path / "empty.csv")
+        with open(path, newline="") as handle:
+            assert list(csv.DictReader(handle)) == []
+
+    def test_json_export_has_structure(self, toy_network, tmp_path):
+        result = GRMiner(toy_network, min_support=2, min_score=0.5, k=5).mine()
+        path = result_to_json(result, tmp_path / "out.json")
+        entries = json.loads(path.read_text())
+        assert len(entries) == len(result)
+        first = entries[0]
+        assert set(first) >= {"lhs", "rhs", "edge", "nhp", "beta", "support_count"}
+        assert first["lhs"] == result[0].gr.lhs.as_dict()
+
+    def test_cli_output_flag(self, toy_network, tmp_path):
+        from repro.cli import main
+        from repro.io.loaders import save_network
+
+        save_network(toy_network, tmp_path / "net")
+        out = tmp_path / "result.json"
+        assert (
+            main(
+                [
+                    "mine",
+                    str(tmp_path / "net"),
+                    "-k",
+                    "3",
+                    "--min-support",
+                    "2",
+                    "--output",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(out.read_text())
+
+
+class TestBenchHarness:
+    def test_algorithm_factories_names(self):
+        factories = algorithm_factories()
+        assert list(factories) == ["GRMiner(k)", "GRMiner", "BL2", "BL1"]
+        assert list(algorithm_factories(include_baselines=False)) == [
+            "GRMiner(k)",
+            "GRMiner",
+        ]
+
+    def test_run_series_rows(self, toy_network):
+        rows = run_series(
+            toy_network,
+            "min_support",
+            (1, 5),
+            dict(min_score=0.5, k=10),
+            algorithms=algorithm_factories(include_baselines=False),
+        )
+        assert len(rows) == 2
+        assert rows[0]["min_support"] == 1
+        assert "GRMiner(k) (s)" in rows[0]
+        assert all(rows[i]["GRMiner(k) grs"] > 0 for i in range(2))
+
+    def test_format_series_alignment(self, toy_network):
+        rows = run_series(
+            toy_network,
+            "min_support",
+            (2,),
+            dict(min_score=0.5, k=5),
+            algorithms=algorithm_factories(include_baselines=False),
+        )
+        text = format_series(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "min_support" in lines[1]
+        assert len(lines) == 4  # title, header, rule, one row
+
+    def test_format_series_empty(self):
+        assert format_series([], title="nothing") == "nothing"

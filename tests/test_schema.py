@@ -1,0 +1,159 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import NULL, Attribute, Schema, SchemaError
+
+
+class TestAttribute:
+    def test_domain_size_counts_non_null_values(self):
+        attr = Attribute("EDU", ("HS", "College", "Grad"))
+        assert attr.domain_size == 3
+
+    def test_codes_are_one_based(self):
+        attr = Attribute("EDU", ("HS", "College", "Grad"))
+        assert attr.code("HS") == 1
+        assert attr.code("Grad") == 3
+
+    def test_label_roundtrip(self):
+        attr = Attribute("EDU", ("HS", "College", "Grad"))
+        for label in attr.values:
+            assert attr.label(attr.code(label)) == label
+
+    def test_null_code_renders_placeholder(self):
+        attr = Attribute("X", ("v",))
+        assert attr.label(NULL) == "<null>"
+
+    def test_unknown_label_raises_with_known_values(self):
+        attr = Attribute("EDU", ("HS",))
+        with pytest.raises(SchemaError, match="HS"):
+            attr.code("PhD")
+
+    def test_out_of_range_code_raises(self):
+        attr = Attribute("EDU", ("HS",))
+        with pytest.raises(SchemaError):
+            attr.label(2)
+        with pytest.raises(SchemaError):
+            attr.label(-1)
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Attribute("X", ("a", "a"))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("X", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", ("a",))
+
+    def test_codes_iterates_non_null_domain(self):
+        attr = Attribute("X", ("a", "b"))
+        assert list(attr.codes()) == [1, 2]
+
+    def test_homophily_flag_defaults_false(self):
+        assert not Attribute("X", ("a",)).homophily
+        assert Attribute("X", ("a",), homophily=True).homophily
+
+
+class TestSchema:
+    def test_attribute_lookup_by_kind(self, small_schema):
+        assert small_schema.node_attribute("A").name == "A"
+        assert small_schema.edge_attribute("W").name == "W"
+
+    def test_attribute_lookup_any_kind(self, small_schema):
+        assert small_schema.attribute("B").name == "B"
+        assert small_schema.attribute("W").name == "W"
+
+    def test_unknown_attribute_raises(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.node_attribute("Z")
+        with pytest.raises(SchemaError):
+            small_schema.edge_attribute("A")
+
+    def test_homophily_names(self, small_schema):
+        assert small_schema.homophily_attribute_names == ("A",)
+        assert small_schema.non_homophily_attribute_names == ("B",)
+
+    def test_is_homophily_false_for_edge_attribute(self, small_schema):
+        assert not small_schema.is_homophily("W")
+
+    def test_contains(self, small_schema):
+        assert "A" in small_schema
+        assert "W" in small_schema
+        assert "Z" not in small_schema
+
+    def test_iteration_order_nodes_then_edges(self, small_schema):
+        assert [a.name for a in small_schema] == ["A", "B", "W"]
+
+    def test_duplicate_node_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([Attribute("A", ("x",)), Attribute("A", ("y",))])
+
+    def test_node_edge_name_overlap_rejected(self):
+        with pytest.raises(SchemaError, match="both"):
+            Schema([Attribute("A", ("x",))], [Attribute("A", ("y",))])
+
+    def test_homophilous_edge_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="homophil"):
+            Schema([Attribute("A", ("x",))], [Attribute("W", ("y",), homophily=True)])
+
+    def test_schema_needs_node_attributes(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_encode_node_missing_attribute_is_null(self, small_schema):
+        assert small_schema.encode_node({"A": "a2"}) == (2, NULL)
+
+    def test_encode_node_unknown_attribute_raises(self, small_schema):
+        with pytest.raises(SchemaError, match="unknown"):
+            small_schema.encode_node({"Q": "x"})
+
+    def test_encode_decode_roundtrip(self, small_schema):
+        record = {"A": "a1", "B": "b3"}
+        assert small_schema.decode_node(small_schema.encode_node(record)) == record
+
+    def test_decode_omits_nulls(self, small_schema):
+        assert small_schema.decode_node((0, 2)) == {"B": "b2"}
+
+    def test_encode_edge(self, small_schema):
+        assert small_schema.encode_edge({"W": "w2"}) == (2,)
+        assert small_schema.encode_edge({}) == (NULL,)
+
+    def test_equality_and_hash(self, small_schema):
+        clone = Schema(
+            [
+                Attribute("A", ("a1", "a2"), homophily=True),
+                Attribute("B", ("b1", "b2", "b3")),
+            ],
+            [Attribute("W", ("w1", "w2"))],
+        )
+        assert clone == small_schema
+        assert hash(clone) == hash(small_schema)
+
+    def test_inequality_on_homophily_flag(self, small_schema):
+        other = small_schema.with_homophily(["B"])
+        assert other != small_schema
+
+    def test_with_homophily_replaces_designation(self, small_schema):
+        derived = small_schema.with_homophily(["B"])
+        assert derived.homophily_attribute_names == ("B",)
+        assert not derived.node_attribute("A").homophily
+
+    def test_with_homophily_unknown_name_raises(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.with_homophily(["W"])
+
+    def test_restrict_node_attributes(self, small_schema):
+        restricted = small_schema.restrict_node_attributes(["B"])
+        assert restricted.node_attribute_names == ("B",)
+        assert restricted.edge_attribute_names == ("W",)
+
+    def test_restrict_to_nothing_raises(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.restrict_node_attributes([])
+
+    def test_restrict_unknown_raises(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.restrict_node_attributes(["Z"])

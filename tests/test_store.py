@@ -1,0 +1,109 @@
+"""Unit tests for the compact LArray/EArray/RArray store (Section IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.data.store import CompactStore
+from repro.datasets.random_graphs import random_attributed_network
+
+
+class TestLayout:
+    def test_larray_holds_only_positive_out_degree(self, small_network):
+        store = CompactStore(small_network)
+        out = small_network.out_degrees()
+        assert set(store.l_nodes) == set(np.flatnonzero(out > 0))
+
+    def test_rarray_holds_only_positive_in_degree(self, small_network):
+        store = CompactStore(small_network)
+        indeg = small_network.in_degrees()
+        assert set(store.r_nodes) == set(np.flatnonzero(indeg > 0))
+
+    def test_out_and_ind_describe_contiguous_runs(self, small_network):
+        store = CompactStore(small_network)
+        # Ind must be the exclusive prefix sum of Out.
+        assert store.l_ind[0] == 0
+        assert list(store.l_ind[1:]) == list(np.cumsum(store.l_out)[:-1])
+        assert int(store.l_out.sum()) == small_network.num_edges
+
+    def test_out_edges_of_l_row_point_to_own_edges(self, small_network):
+        store = CompactStore(small_network)
+        for row in range(store.l_nodes.size):
+            edges = store.out_edges_of_l_row(row)
+            assert (store.e_src_row[edges] == row).all()
+
+    def test_ptr_resolves_destinations(self, small_network):
+        store = CompactStore(small_network)
+        # Destination node attribute through Ptr equals the network's own gather.
+        order = store.edge_order
+        for name in small_network.schema.node_attribute_names:
+            via_store = store.dest_codes(name)
+            direct = small_network.dest_values(name)[order]
+            assert list(via_store) == list(direct)
+
+    def test_source_codes_match_network(self, small_network):
+        store = CompactStore(small_network)
+        order = store.edge_order
+        for name in small_network.schema.node_attribute_names:
+            assert list(store.source_codes(name)) == list(
+                small_network.source_values(name)[order]
+            )
+
+    def test_edge_codes_match_network(self, small_network):
+        store = CompactStore(small_network)
+        order = store.edge_order
+        for name in small_network.schema.edge_attribute_names:
+            assert list(store.edge_codes(name)) == list(
+                small_network.edge_column(name)[order]
+            )
+
+    def test_subset_gather(self, small_network):
+        store = CompactStore(small_network)
+        subset = np.array([0, 3, 5])
+        assert list(store.source_codes("A", subset)) == list(
+            store.source_codes("A")[subset]
+        )
+
+    def test_all_edges(self, small_network):
+        store = CompactStore(small_network)
+        assert list(store.all_edges()) == list(range(8))
+
+
+class TestStorageClaim:
+    """The Section IV-A size comparison against the single table."""
+
+    def test_size_formula(self, small_network):
+        store = CompactStore(small_network)
+        n_v, n_e = 2, 1  # attributes in the small schema
+        expected = (
+            store.l_nodes.size * (n_v + 2)
+            + small_network.num_edges * (n_e + 1)
+            + store.r_nodes.size * n_v
+        )
+        assert store.size_cells() == expected
+
+    def test_single_table_formula(self, small_network):
+        store = CompactStore(small_network)
+        assert store.single_table_size_cells() == 8 * (2 * 2 + 1)
+
+    def test_compact_smaller_on_dense_graphs(self):
+        # Dense multi-attribute network: the |E| * 2 * #AttrV term dominates.
+        from repro.datasets.random_graphs import random_schema
+
+        schema = random_schema(num_node_attrs=6, num_edge_attrs=1, seed=3)
+        network = random_attributed_network(
+            schema, num_nodes=50, num_edges=2000, seed=3
+        )
+        store = CompactStore(network)
+        assert store.size_cells() < store.single_table_size_cells()
+
+    def test_zero_degree_nodes_excluded_from_arrays(self, small_schema):
+        from repro.data.network import SocialNetwork
+
+        network = SocialNetwork.from_records(
+            small_schema,
+            {0: {"A": "a1"}, 1: {"A": "a2"}, 2: {"A": "a1"}},
+            [(0, 1, {})],
+        )
+        store = CompactStore(network)
+        assert store.l_nodes.size == 1  # only node 0 has out-edges
+        assert store.r_nodes.size == 1  # only node 1 has in-edges

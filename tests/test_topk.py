@@ -1,0 +1,120 @@
+"""Unit tests for the top-k collector and generality index."""
+
+import pytest
+
+from repro.core.descriptors import GR, Descriptor
+from repro.core.metrics import GRMetrics
+from repro.core.topk import GeneralityIndex, TopKCollector
+
+
+def _metrics(support=5, lw=10, hom=0, edges=100):
+    return GRMetrics(
+        support_count=support, lw_count=lw, homophily_count=hom, num_edges=edges
+    )
+
+
+def _gr(name: str) -> GR:
+    return GR(Descriptor({"A": name}), Descriptor({"B": name}))
+
+
+class TestGeneralityIndex:
+    def test_blocked_by_lhs_subset(self):
+        index = GeneralityIndex()
+        index.add((("A", 1),), (), (("B", 2),))
+        assert index.is_blocked((("A", 1), ("C", 3)), (), (("B", 2),))
+
+    def test_blocked_by_edge_subset(self):
+        index = GeneralityIndex()
+        index.add((("A", 1),), (), (("B", 2),))
+        assert index.is_blocked((("A", 1),), (("W", 1),), (("B", 2),))
+
+    def test_not_blocked_by_itself(self):
+        index = GeneralityIndex()
+        index.add((("A", 1),), (), (("B", 2),))
+        assert not index.is_blocked((("A", 1),), (), (("B", 2),))
+
+    def test_not_blocked_with_different_rhs(self):
+        index = GeneralityIndex()
+        index.add((("A", 1),), (), (("B", 2),))
+        assert not index.is_blocked((("A", 1), ("C", 3)), (), (("B", 9),))
+
+    def test_not_blocked_by_different_value(self):
+        index = GeneralityIndex()
+        index.add((("A", 1),), (), (("B", 2),))
+        assert not index.is_blocked((("A", 2), ("C", 3)), (), (("B", 2),))
+
+    def test_empty_lhs_entry_blocks_everything_with_that_rhs(self):
+        index = GeneralityIndex()
+        index.add((), (), (("B", 2),))
+        assert index.is_blocked((("A", 1),), (), (("B", 2),))
+
+    def test_len(self):
+        index = GeneralityIndex()
+        assert len(index) == 0
+        index.add((("A", 1),), (), (("B", 2),))
+        index.add((("A", 2),), (), (("B", 2),))
+        assert len(index) == 2
+
+
+class TestTopKCollector:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TopKCollector(k=0, min_score=0.0)
+
+    def test_unbounded_collects_everything(self):
+        collector = TopKCollector(k=None, min_score=0.0)
+        for i in range(10):
+            collector.offer(_gr(f"v{i}"), _metrics(), 0.5)
+        assert len(collector) == 10
+
+    def test_truncates_to_k(self):
+        collector = TopKCollector(k=3, min_score=0.0)
+        for i, score in enumerate([0.9, 0.5, 0.7, 0.8, 0.6]):
+            collector.offer(_gr(f"v{i}"), _metrics(), score)
+        scores = [entry.score for entry in collector.results()]
+        assert scores == [0.9, 0.8, 0.7]
+
+    def test_rank_ties_broken_by_support_then_name(self):
+        collector = TopKCollector(k=None, min_score=0.0)
+        collector.offer(_gr("zz"), _metrics(support=5), 0.5)
+        collector.offer(_gr("aa"), _metrics(support=5), 0.5)
+        collector.offer(_gr("mm"), _metrics(support=9), 0.5)
+        names = [entry.gr.lhs["A"] for entry in collector.results()]
+        assert names == ["mm", "aa", "zz"]
+
+    def test_effective_threshold_upgrades_when_full(self):
+        collector = TopKCollector(k=2, min_score=0.3)
+        assert collector.effective_threshold == 0.3
+        collector.offer(_gr("a"), _metrics(), 0.9)
+        assert collector.effective_threshold == 0.3  # not full yet
+        collector.offer(_gr("b"), _metrics(), 0.7)
+        assert collector.effective_threshold == 0.7  # k-th best
+        collector.offer(_gr("c"), _metrics(), 0.8)
+        assert collector.effective_threshold == 0.8
+
+    def test_effective_threshold_never_below_user_threshold(self):
+        collector = TopKCollector(k=1, min_score=0.6)
+        collector.offer(_gr("a"), _metrics(), 0.9)
+        assert collector.effective_threshold == 0.9
+
+    def test_would_admit(self):
+        collector = TopKCollector(k=2, min_score=0.3)
+        assert not collector.would_admit(0.2)
+        assert collector.would_admit(0.4)
+        collector.offer(_gr("a"), _metrics(), 0.9)
+        collector.offer(_gr("b"), _metrics(), 0.8)
+        assert not collector.would_admit(0.5)
+        assert collector.would_admit(0.8)  # ties can still win on support
+
+    def test_offer_below_kth_is_rejected(self):
+        collector = TopKCollector(k=1, min_score=0.0)
+        collector.offer(_gr("a"), _metrics(), 0.9)
+        assert not collector.offer(_gr("b"), _metrics(), 0.5)
+        assert len(collector) == 1
+
+    def test_results_are_copies(self):
+        collector = TopKCollector(k=None, min_score=0.0)
+        collector.offer(_gr("a"), _metrics(), 0.9)
+        results = collector.results()
+        results.clear()
+        assert len(collector) == 1
