@@ -13,11 +13,26 @@ Quickstart
 >>> for mined in result:
 ...     _ = mined.gr, mined.metrics.nhp
 
+Pass ``workers=N`` to shard the enumeration tree over N processes — the
+:class:`~repro.parallel.ParallelGRMiner` exports the compact store into
+shared memory, mines the first-level LEFT branches concurrently with a
+best-effort dynamic-threshold exchange, and merges the per-shard top-k
+lists into the same ranked answer for any worker count:
+
+>>> result = mine_top_k(toy_dating_network(), k=5, min_support=2,
+...                     min_nhp=0.5, workers=2)
+>>> len(result) <= 5
+True
+
 Package map
 -----------
 ``repro.core``      GRMiner, metrics, baselines, alternative metrics.
+``repro.parallel``  Sharded multi-process mining: shard planner,
+                    shared-memory store export, threshold bus, and the
+                    deterministic merge (ParallelGRMiner).
 ``repro.data``      Schemas, networks, the compact LArray/EArray/RArray
-                    store and the single-table model.
+                    store (including its shared-memory export) and the
+                    single-table model.
 ``repro.datasets``  The paper's toy network plus synthetic Pokec/DBLP
                     style generators.
 ``repro.analysis``  Hypothesis-variation workflow, homophily suggestion,
@@ -42,8 +57,9 @@ from .core import (
     mine_top_k,
 )
 from .data import Attribute, CompactStore, EdgeTable, Schema, SocialNetwork
+from .parallel import ParallelGRMiner
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlternativeMetricMiner",
@@ -52,6 +68,7 @@ __all__ = [
     "BL2Miner",
     "BruteForceMiner",
     "CompactStore",
+    "ParallelGRMiner",
     "ConfidenceMiner",
     "Descriptor",
     "EdgeTable",

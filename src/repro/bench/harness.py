@@ -22,17 +22,35 @@ from ..core.baselines import BL1Miner, BL2Miner
 from ..core.miner import GRMiner
 from ..data.network import SocialNetwork
 
-__all__ = ["algorithm_factories", "run_series", "format_series"]
+__all__ = ["algorithm_factories", "parallel_factory", "run_series", "format_series"]
 
 AlgorithmFactory = Callable[..., object]
 
 
-def algorithm_factories(include_baselines: bool = True) -> dict[str, AlgorithmFactory]:
+def parallel_factory(workers: int) -> AlgorithmFactory:
+    """A factory for the sharded multi-process miner at a worker count.
+
+    Drop it into a :func:`run_series` algorithm map (e.g. the scaling
+    bench times ``{"GRMiner(k)": ..., "Parallel×4": parallel_factory(4)}``).
+    """
+
+    def make(network: SocialNetwork, **kw):
+        from ..parallel import ParallelGRMiner  # deferred: keep bench import light
+
+        return ParallelGRMiner(network, workers=workers, **kw)
+
+    return make
+
+
+def algorithm_factories(
+    include_baselines: bool = True, parallel_workers: int | None = None
+) -> dict[str, AlgorithmFactory]:
     """The Fig. 4 contenders, name → miner factory.
 
     Every factory accepts the same keyword arguments as
     :class:`~repro.core.miner.GRMiner` (baselines ignore the push
-    flags they exist to disable).
+    flags they exist to disable).  ``parallel_workers`` adds the sharded
+    :class:`~repro.parallel.ParallelGRMiner` as an extra contender.
     """
 
     def grminer_k(network: SocialNetwork, **kw) -> GRMiner:
@@ -54,6 +72,8 @@ def algorithm_factories(include_baselines: bool = True) -> dict[str, AlgorithmFa
         "GRMiner(k)": grminer_k,
         "GRMiner": grminer,
     }
+    if parallel_workers is not None:
+        factories[f"Parallel×{parallel_workers}"] = parallel_factory(parallel_workers)
     if include_baselines:
         factories["BL2"] = bl2
         factories["BL1"] = bl1

@@ -34,6 +34,13 @@ def _parse_min_support(text: str) -> int | float:
     return value
 
 
+def _parse_workers(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("--workers must be a positive process count")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -85,6 +92,14 @@ def _add_mining_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--attributes", nargs="*", default=None, help="restrict node attributes"
+    )
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        metavar="N",
+        help="mine with N sharded worker processes (repro.parallel); "
+        "default is the serial GRMiner",
     )
     parser.add_argument(
         "--output",
@@ -152,10 +167,26 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_miner(network: SocialNetwork, workers: int | None, **params):
+    """Serial GRMiner, or the sharded parallel miner when --workers asks.
+
+    Any ``--workers`` value (including 1) selects ``ParallelGRMiner`` so
+    the CLI matches ``mine_top_k(..., workers=N)`` and the output never
+    depends on the worker count — ``workers=1`` runs the same shard
+    machinery in-process.
+    """
+    if workers is not None:
+        from .parallel import ParallelGRMiner
+
+        return ParallelGRMiner(network, workers=workers, **params)
+    return GRMiner(network, **params)
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     network = _load(args.directory, args.homophily)
-    miner = GRMiner(
+    miner = _build_miner(
         network,
+        getattr(args, "workers", None),
         min_support=args.min_support,
         min_score=args.min_nhp,
         k=args.k,
@@ -187,7 +218,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         k=args.k,
         node_attributes=args.attributes,
     )
-    nhp_result = GRMiner(network, min_score=args.min_nhp, **common).mine()
+    nhp_result = _build_miner(
+        network, getattr(args, "workers", None), min_score=args.min_nhp, **common
+    ).mine()
     conf_result = ConfidenceMiner(network, min_score=args.min_nhp, **common).mine()
     print(format_table2(nhp_result, conf_result, rows=args.rows))
     return 0

@@ -45,7 +45,7 @@ from .metrics import GRMetrics
 from .results import MiningResult, MiningStats
 from .topk import GeneralityIndex, TopKCollector
 
-__all__ = ["GRMiner", "mine_top_k"]
+__all__ = ["BranchPlan", "BranchSpec", "GRMiner", "mine_top_k"]
 
 
 @dataclass
@@ -58,6 +58,41 @@ class _LWContext:
     lw_count: int
     #: Cache of homophily-effect counts ``supp(l -w-> l[β])`` keyed by β.
     hom_cache: dict[tuple[str, ...], int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BranchSpec:
+    """One independent first-level subtree of the SFDF enumeration tree.
+
+    ``"left"`` branches are the value partitions of the first-level LEFT
+    children (Algorithm 1 line 5): the subtree rooted at ``l = {attr:
+    value}``, which contains every GR whose LHS includes that assignment
+    and whose remaining attributes come from ``tau[:token_index]``.  The
+    ``"root"`` branch (emitted only when empty-LHS GRs are admissible)
+    holds the root RIGHT and EDGE subtrees.  Branches partition the GR
+    space: each GR's LHS has a unique latest-in-τ assignment, so no GR
+    is enumerated by two branches — which is what makes them shardable.
+
+    ``weight`` is the branch's edge-subset size, i.e. the summed
+    out-degree of the sources matching the assignment — the load-balance
+    key used by the parallel shard planner.
+    """
+
+    kind: str  # "left" or "root"
+    token_index: int
+    attr: str
+    value: int
+    weight: int
+
+
+@dataclass(frozen=True)
+class BranchPlan:
+    """The first-level decomposition of one mining run."""
+
+    tau: tuple[Token, ...]
+    branches: tuple[BranchSpec, ...]
+    #: First-level partitions discarded by minSupp during planning.
+    pruned_by_support: int
 
 
 class GRMiner:
@@ -105,6 +140,10 @@ class GRMiner:
     max_lhs_attrs, max_rhs_attrs, max_edge_attrs:
         Optional caps on descriptor lengths — practical guards for very
         high-dimensional schemas; ``None`` means unbounded.
+    store:
+        A prebuilt :class:`~repro.data.store.CompactStore` for the
+        network — e.g. one reconstructed from a shared-memory export by
+        a parallel worker.  Defaults to building a fresh store.
     verify_generality:
         Only meaningful for GRMiner(k).  The published dynamic-threshold
         upgrade can prune a subtree containing a *generality blocker*
@@ -138,6 +177,7 @@ class GRMiner:
         laplace_k: int = 2,
         gain_theta: float = 0.5,
         verify_generality: bool = True,
+        store: CompactStore | None = None,
     ) -> None:
         if rank_by not in ("nhp", "confidence", "laplace", "gain"):
             raise ValueError(
@@ -152,7 +192,7 @@ class GRMiner:
             raise ValueError("gain_theta must be a fraction in [0, 1] (Eqn. 11)")
         self.network = network
         self.schema = network.schema
-        self.store = CompactStore(network)
+        self.store = store if store is not None else CompactStore(network)
         self.min_support = min_support
         self.abs_min_support = self._absolute_support(min_support, network.num_edges)
         self.min_score = float(min_score)
@@ -177,6 +217,18 @@ class GRMiner:
         self.laplace_k = laplace_k
         self.gain_theta = gain_theta
         self.verify_generality = verify_generality
+
+        #: Optional hook consulted before offering a candidate to the
+        #: collector: ``verifier(l_map, w_map, r_map) -> True`` when the
+        #: candidate is blocked by a more general qualifying GR.  Used by
+        #: the parallel workers, whose local generality index cannot see
+        #: blockers discovered in sibling shards (repro.parallel.worker).
+        self._candidate_verifier = None
+        #: First-level value partitions keyed by LEFT token index.  Pure
+        #: derived data over the immutable store, so it persists across
+        #: runs: plan_branches fills it, mine_branch reuses it (workers,
+        #: which never plan, fill it lazily for the tokens they own).
+        self._branch_partitions: dict[int, dict[int, np.ndarray]] = {}
 
         self._homophily = {
             name: self.schema.is_homophily(name) for name in self.node_attributes
@@ -208,23 +260,19 @@ class GRMiner:
     # Public API
     # ------------------------------------------------------------------
     def mine(self) -> MiningResult:
-        """Run Algorithm 1 and return the ranked result."""
-        start = time.perf_counter()
-        self._stats = MiningStats()
-        self._collector = TopKCollector(
-            k=self.k if self.push_topk else None, min_score=self.min_score
-        )
-        self._index = GeneralityIndex()
+        """Run Algorithm 1 and return the ranked result.
 
-        tau = static_tau(self.schema, self.node_attributes)
-        edges = self.store.all_edges()
-        # Main (lines 2-5): RIGHT, EDGE, LEFT on the full data.  The
-        # root RIGHT/EDGE subtrees only contain empty-LHS GRs; they are
-        # skipped unless such GRs are admissible (DESIGN.md §5.4).
-        if self.allow_empty_lhs:
-            self._enter_right(edges, tau, l_map={}, w_map={})
-            self._edge(edges, tau, l_map={}, w_map={})
-        self._left(edges, tau, l_map={})
+        The run is organized as the sequence of independent first-level
+        branches of :meth:`plan_branches` (the serial traversal order is
+        unchanged); :class:`~repro.parallel.ParallelGRMiner` distributes
+        the same branches across worker processes.
+        """
+        start = time.perf_counter()
+        self._begin()
+        plan = self.plan_branches()
+        self._stats.pruned_by_support += plan.pruned_by_support
+        for branch in plan.branches:
+            self.mine_branch(plan.tau, branch)
 
         results = self._collector.results()
         if self.k is not None and not self.push_topk:
@@ -237,6 +285,97 @@ class GRMiner:
             results = self._verify_generality(results)
         self._stats.runtime_seconds = time.perf_counter() - start
         return MiningResult(grs=results, stats=self._stats, params=self._params())
+
+    # ------------------------------------------------------------------
+    # Branch-entry API (used by mine() and by the parallel workers)
+    # ------------------------------------------------------------------
+    def _begin(self, collector: TopKCollector | None = None) -> None:
+        """Reset per-run state; a caller may inject its own collector."""
+        self._stats = MiningStats()
+        self._collector = collector if collector is not None else TopKCollector(
+            k=self.k if self.push_topk else None, min_score=self.min_score
+        )
+        self._index = GeneralityIndex()
+        # A worker installs its verifier after _begin; resetting here
+        # keeps a plain mine() exact after the miner served as a shard
+        # executor (repro.parallel reuses miner instances across tasks).
+        self._candidate_verifier = None
+
+    def plan_branches(self) -> BranchPlan:
+        """Decompose the run into its independent first-level branches.
+
+        Mirrors the main procedure (Algorithm 1 lines 2-5): the root
+        RIGHT/EDGE subtrees (empty-LHS GRs, emitted only when those are
+        admissible — DESIGN.md §5.4) followed by the first-level LEFT
+        value partitions in τ order.  Sub-threshold partitions are
+        counted, not emitted.
+        """
+        tau = static_tau(self.schema, self.node_attributes)
+        edges = self.store.all_edges()
+        branches: list[BranchSpec] = []
+        pruned = 0
+        if self.allow_empty_lhs:
+            branches.append(
+                BranchSpec(
+                    kind="root", token_index=-1, attr="", value=0, weight=int(edges.size)
+                )
+            )
+        if self.max_lhs_attrs is None or self.max_lhs_attrs > 0:
+            for i, token in enumerate(tau):
+                if token.role != "L":
+                    continue
+                per_value = self._first_level_partition(tau, i)
+                for value, subset in per_value.items():
+                    if subset.size < self.abs_min_support:
+                        pruned += 1
+                        continue
+                    branches.append(
+                        BranchSpec(
+                            kind="left",
+                            token_index=i,
+                            attr=token.attr,
+                            value=int(value),
+                            weight=int(subset.size),
+                        )
+                    )
+        return BranchPlan(tau=tau, branches=tuple(branches), pruned_by_support=pruned)
+
+    def _first_level_partition(
+        self, tau: tuple[Token, ...], token_index: int
+    ) -> dict[int, np.ndarray]:
+        """Cached per-value edge partition of one first-level LEFT token."""
+        per_value = self._branch_partitions.get(token_index)
+        if per_value is None:
+            token = tau[token_index]
+            edges = self.store.all_edges()
+            per_value = dict(
+                partition_by_value(
+                    edges, self._src_cols[token.attr][edges], self._domain[token.attr]
+                )
+            )
+            self._branch_partitions[token_index] = per_value
+        return per_value
+
+    def mine_branch(self, tau: tuple[Token, ...], branch: BranchSpec) -> None:
+        """Run the recursion under one first-level branch.
+
+        Requires :meth:`_begin` to have been called.  ``tau`` must be the
+        plan's static order (workers recompute it deterministically from
+        the schema rather than pickling it).
+        """
+        if branch.kind == "root":
+            edges = self.store.all_edges()
+            self._enter_right(edges, tau, l_map={}, w_map={})
+            self._edge(edges, tau, l_map={}, w_map={})
+            return
+        token = tau[branch.token_index]
+        subset = self._first_level_partition(tau, branch.token_index)[branch.value]
+        child_tail = tau[: branch.token_index]
+        l_map = {token.attr: branch.value}
+        self._stats.lw_nodes += 1
+        self._enter_right(subset, child_tail, l_map, w_map={})
+        self._edge(subset, child_tail, l_map, w_map={})
+        self._left(subset, child_tail, l_map)
 
     def _verify_generality(self, results: list) -> list:
         """Drop top-k entries whose generalization qualifies (DESIGN §5.5).
@@ -254,12 +393,10 @@ class GRMiner:
             for general in mined.gr.generalizations():
                 if not general.lhs and not self.allow_empty_lhs:
                     continue
-                if general.is_trivial(self.schema) and not self.include_trivial:
+                trivial = general.is_trivial(self.schema)
+                if trivial and not self.include_trivial:
                     continue
-                metrics = engine.evaluate(general)
-                if metrics.support_count < self.abs_min_support:
-                    continue
-                if self._score(metrics) >= self.min_score:
+                if self.blocker_qualifies(engine.evaluate(general), trivial):
                     blocked = True
                     break
             if blocked:
@@ -267,6 +404,20 @@ class GRMiner:
             else:
                 verified.append(mined)
         return verified
+
+    def blocker_qualifies(self, metrics: GRMetrics, trivial: bool) -> bool:
+        """Condition (1) for a *generality blocker* (Definition 5(2)).
+
+        The single source of truth shared by the serial verification
+        pass and the parallel workers' cross-shard verifier — a blocker
+        must be admissible (non-trivial unless trivial GRs are admitted)
+        and meet the user's support and score thresholds.
+        """
+        return (
+            (self.include_trivial or not trivial)
+            and metrics.support_count >= self.abs_min_support
+            and self._score(metrics) >= self.min_score
+        )
 
     def _params(self) -> dict:
         return {
@@ -417,6 +568,55 @@ class GRMiner:
         )
         return metrics, trivial
 
+    def evaluate_codes(
+        self,
+        l_map: dict[str, int],
+        w_map: dict[str, int],
+        r_map: dict[str, int],
+    ) -> tuple[GRMetrics, bool]:
+        """Direct metric evaluation of a code-level GR over all edges.
+
+        Returns the same ``(metrics, trivial)`` pair :meth:`_evaluate`
+        produces incrementally during the tree walk, but from scratch —
+        the primitive behind the parallel workers' cross-shard generality
+        checks, where the blocker's enumeration node lives in a sibling
+        shard (or was cut by the dynamic threshold) and is therefore
+        absent from the local index.
+        """
+        lw_mask = np.ones(self.network.num_edges, dtype=bool)
+        for name, code in l_map.items():
+            lw_mask &= self._src_cols[name] == code
+        for name, code in w_map.items():
+            lw_mask &= self._edge_cols[name] == code
+        supp_mask = lw_mask.copy()
+        for name, code in r_map.items():
+            supp_mask &= self._dst_cols[name] == code
+        beta = tuple(
+            sorted(
+                name
+                for name, code in r_map.items()
+                if self._homophily[name] and name in l_map and l_map[name] != code
+            )
+        )
+        homophily_count = 0
+        if beta:
+            hom_mask = lw_mask.copy()
+            for name in beta:
+                hom_mask &= self._dst_cols[name] == l_map[name]
+            homophily_count = int(hom_mask.sum())
+        trivial = all(
+            self._homophily[name] and l_map.get(name) == code
+            for name, code in r_map.items()
+        )
+        metrics = GRMetrics(
+            support_count=int(supp_mask.sum()),
+            lw_count=int(lw_mask.sum()),
+            homophily_count=homophily_count,
+            num_edges=self.network.num_edges,
+            beta=beta,
+        )
+        return metrics, trivial
+
     def _homophily_count(self, context: _LWContext, beta: tuple[str, ...]) -> int:
         """``supp(l -w-> l[β])`` within the context's edge set, cached by β.
 
@@ -465,6 +665,11 @@ class GRMiner:
             self._index.add(l_key, w_key, r_key)
         self._stats.candidates += 1
         if self._collector.would_admit(score):
+            if self._candidate_verifier is not None and self._candidate_verifier(
+                context.l_map, context.w_map, r_map
+            ):
+                self._stats.pruned_by_generality += 1
+                return
             self._collector.offer(self._decode(context, r_map), metrics, score)
 
     def _should_prune(
@@ -528,9 +733,14 @@ def mine_top_k(
     k: int = 10,
     min_support: int | float = 1,
     min_nhp: float = 0.0,
+    workers: int | None = None,
     **kwargs,
 ) -> MiningResult:
     """Convenience wrapper: run GRMiner(k) with the paper's defaults.
+
+    Pass ``workers=N`` to mine with the sharded multi-process
+    :class:`~repro.parallel.ParallelGRMiner` instead of the serial
+    miner (``workers=1`` runs the shard machinery in-process).
 
     Examples
     --------
@@ -539,5 +749,16 @@ def mine_top_k(
     >>> len(result) <= 5
     True
     """
+    if workers is not None:
+        from ..parallel import ParallelGRMiner  # deferred: avoids an import cycle
+
+        return ParallelGRMiner(
+            network,
+            workers=workers,
+            min_support=min_support,
+            min_score=min_nhp,
+            k=k,
+            **kwargs,
+        ).mine()
     miner = GRMiner(network, min_support=min_support, min_score=min_nhp, k=k, **kwargs)
     return miner.mine()

@@ -9,13 +9,17 @@ Implements the bookkeeping of Definition 5 and Algorithm 1 lines 27–28:
   (1).  Thanks to SFDF's Property 2 every potential blocker is examined
   before the GRs it blocks, so a single forward pass suffices;
 * the dynamic ``minNhp`` upgrade of GRMiner(k): once k GRs are held, the
-  score of the weakest one becomes the effective pruning threshold.
+  score of the weakest one becomes the effective pruning threshold;
+* :meth:`TopKCollector.merge` — deterministic recombination of per-shard
+  collections, the reduce step of the parallel miner: because the rank
+  key (score desc, support desc, canonical string asc) is a total order,
+  merging per-shard top-k lists reproduces the global top-k exactly.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from .descriptors import GR
 from .metrics import GRMetrics
@@ -129,3 +133,29 @@ class TopKCollector:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __iter__(self) -> Iterator[MinedGR]:
+        return iter(self._entries)
+
+    @classmethod
+    def merge(
+        cls,
+        parts: Iterable[Iterable[MinedGR]],
+        k: int | None,
+        min_score: float = 0.0,
+    ) -> "TopKCollector":
+        """Combine already-qualified entries into one ranked collector.
+
+        ``parts`` are iterables of :class:`MinedGR` (lists or other
+        collectors), e.g. one per parallel shard.  Entries are assumed to
+        have passed condition (1) and (2) checks at their source; this
+        method only re-ranks and truncates.  A member of the global
+        top-k is, within its own shard, among that shard's k best — so
+        merging per-shard top-k lists loses nothing, and the total rank
+        order makes the outcome independent of shard count and order.
+        """
+        merged = cls(k=k, min_score=min_score)
+        for part in parts:
+            for entry in part:
+                merged.offer(entry.gr, entry.metrics, entry.score)
+        return merged

@@ -21,15 +21,32 @@ cells, which eliminates the ``|E| * 2 * #AttrV`` bottleneck term.
 gather operations the miners need (source codes, destination codes, edge
 codes — all resolved through the pointer structure, never via a joined
 table).
+
+For multi-process mining, :meth:`CompactStore.export_shared` packs the
+store's arrays *and* the backing network's code columns into one
+POSIX shared-memory segment.  The returned :class:`SharedStoreHandle` is
+a small picklable descriptor; :func:`attach_shared_store` reconstructs a
+read-only network + store in a worker as zero-copy views over the
+segment — the data is written once by the parent, never serialized per
+worker.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
 import numpy as np
 
 from .network import SocialNetwork
+from .schema import Schema
 
-__all__ = ["CompactStore"]
+__all__ = [
+    "CompactStore",
+    "SharedStoreExport",
+    "SharedStoreHandle",
+    "attach_shared_store",
+]
 
 
 class CompactStore:
@@ -148,3 +165,159 @@ class CompactStore:
             f"CompactStore(L={self.l_nodes.size}, E={self._num_edges}, "
             f"R={self.r_nodes.size}, cells={self.size_cells()})"
         )
+
+    # ------------------------------------------------------------------
+    # Shared-memory export (repro.parallel)
+    # ------------------------------------------------------------------
+    def _shared_arrays(self) -> dict[str, np.ndarray]:
+        """Every array a worker needs, keyed for the shared segment."""
+        network = self.network
+        arrays: dict[str, np.ndarray] = {
+            "net.src": network.src,
+            "net.dst": network.dst,
+            "store.l_nodes": self.l_nodes,
+            "store.l_out": self.l_out,
+            "store.l_ind": self.l_ind,
+            "store.r_nodes": self.r_nodes,
+            "store.edge_order": self.edge_order,
+            "store.e_src_row": self.e_src_row,
+            "store.e_ptr": self.e_ptr,
+        }
+        for name in network.schema.node_attribute_names:
+            arrays[f"net.node.{name}"] = network.node_column(name)
+            arrays[f"store.l_attrs.{name}"] = self.l_attrs[name]
+            arrays[f"store.r_attrs.{name}"] = self.r_attrs[name]
+        for name in network.schema.edge_attribute_names:
+            arrays[f"net.edge.{name}"] = network.edge_column(name)
+            arrays[f"store.e_attrs.{name}"] = self.e_attrs[name]
+        return arrays
+
+    def export_shared(self) -> "SharedStoreExport":
+        """Copy the store + network arrays into one shared-memory segment.
+
+        The parent pays a single memcpy; every worker then attaches
+        zero-copy read-only views via :func:`attach_shared_store`.  The
+        caller owns the segment: ``close()`` + ``unlink()`` it (or use
+        the export as a context manager) once the workers are done.
+        """
+        arrays = self._shared_arrays()
+        specs: list[SharedArraySpec] = []
+        offset = 0
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            arrays[key] = arr
+            specs.append(SharedArraySpec(key, str(arr.dtype), arr.shape, offset))
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        for spec, arr in zip(specs, arrays.values()):
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=spec.offset)
+            view[...] = arr
+        handle = SharedStoreHandle(
+            shm_name=shm.name,
+            specs=tuple(specs),
+            schema=self.network.schema,
+            num_nodes=self.network.num_nodes,
+            num_edges=self._num_edges,
+        )
+        return SharedStoreExport(shm=shm, handle=handle)
+
+    @classmethod
+    def _from_shared(
+        cls, network: SocialNetwork, arrays: dict[str, np.ndarray]
+    ) -> "CompactStore":
+        """Rebuild a store from attached views, skipping recomputation."""
+        self = cls.__new__(cls)
+        self.network = network
+        schema = network.schema
+        self.l_nodes = arrays["store.l_nodes"]
+        self.l_out = arrays["store.l_out"]
+        self.l_ind = arrays["store.l_ind"]
+        self.r_nodes = arrays["store.r_nodes"]
+        self.edge_order = arrays["store.edge_order"]
+        self.e_src_row = arrays["store.e_src_row"]
+        self.e_ptr = arrays["store.e_ptr"]
+        self.l_attrs = {
+            name: arrays[f"store.l_attrs.{name}"] for name in schema.node_attribute_names
+        }
+        self.r_attrs = {
+            name: arrays[f"store.r_attrs.{name}"] for name in schema.node_attribute_names
+        }
+        self.e_attrs = {
+            name: arrays[f"store.e_attrs.{name}"] for name in schema.edge_attribute_names
+        }
+        self._num_edges = network.num_edges
+        return self
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Location of one array inside the shared segment."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SharedStoreHandle:
+    """Picklable descriptor of an exported store (ship this to workers)."""
+
+    shm_name: str
+    specs: tuple[SharedArraySpec, ...]
+    schema: Schema
+    num_nodes: int
+    num_edges: int
+
+
+@dataclass
+class SharedStoreExport:
+    """Owning side of a shared-memory export (parent process)."""
+
+    shm: shared_memory.SharedMemory
+    handle: SharedStoreHandle
+
+    def __enter__(self) -> "SharedStoreExport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def release(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except FileNotFoundError:  # already unlinked
+            pass
+
+
+def attach_shared_store(
+    handle: SharedStoreHandle,
+) -> tuple[SocialNetwork, CompactStore, shared_memory.SharedMemory]:
+    """Reconstruct a read-only network + store from a shared export.
+
+    The returned arrays are views over the segment — no copies are made.
+    The caller must keep the returned ``SharedMemory`` object alive for
+    as long as the network/store are used, and ``close()`` it afterwards.
+    External ``node_ids`` are not shipped (workers mine over codes and
+    decode through the schema, so they never need them).
+    """
+    shm = shared_memory.SharedMemory(name=handle.shm_name)
+    arrays: dict[str, np.ndarray] = {}
+    for spec in handle.specs:
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+        )
+        view.flags.writeable = False
+        arrays[spec.key] = view
+    schema = handle.schema
+    network = SocialNetwork(
+        schema,
+        {name: arrays[f"net.node.{name}"] for name in schema.node_attribute_names},
+        arrays["net.src"],
+        arrays["net.dst"],
+        {name: arrays[f"net.edge.{name}"] for name in schema.edge_attribute_names},
+    )
+    store = CompactStore._from_shared(network, arrays)
+    return network, store, shm

@@ -1,0 +1,27 @@
+"""Multi-process GR mining: shard the SFDF tree, trade thresholds, merge.
+
+The paper's GRMiner walks the enumeration tree serially; this package
+exploits the tree's embarrassingly parallel first level.  See
+:class:`ParallelGRMiner` for the orchestration,
+:mod:`repro.parallel.planner` for degree-weighted shard packing,
+:mod:`repro.parallel.bus` for the best-effort dynamic-threshold
+exchange, and :mod:`repro.parallel.worker` for per-shard execution and
+the cross-shard generality verification that keeps the merged result
+exactly equal to the serial miner's Definition 5 semantics.
+"""
+
+from .bus import SharedThresholdCollector, ThresholdBus
+from .miner import ParallelGRMiner
+from .planner import plan_shards
+from .worker import CrossShardGeneralityVerifier, ShardResult, ShardTask, run_shard
+
+__all__ = [
+    "CrossShardGeneralityVerifier",
+    "ParallelGRMiner",
+    "SharedThresholdCollector",
+    "ShardResult",
+    "ShardTask",
+    "ThresholdBus",
+    "plan_shards",
+    "run_shard",
+]

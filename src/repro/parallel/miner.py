@@ -1,0 +1,170 @@
+"""ParallelGRMiner — sharded top-k GR mining over a process pool.
+
+The SFDF enumeration tree's first-level LEFT branches partition the GR
+space (every LHS has a unique latest-in-τ assignment), so Algorithm 1
+parallelizes by branch with *no* shared mutable state on the hot path:
+
+1. **Plan** — the coordinator runs :meth:`GRMiner.plan_branches` and
+   packs the branches into degree-weight-balanced shards (LPT).
+2. **Share** — the compact store and network columns are exported once
+   into POSIX shared memory; workers attach zero-copy read-only views.
+3. **Mine** — each worker replays the serial recursion over its
+   branches.  Candidate validity (thresholds, triviality, Definition
+   5(2) generality) is decided per-shard from first principles (see
+   :mod:`repro.parallel.worker`), and local k-th best scores are traded
+   over a :class:`~repro.parallel.bus.ThresholdBus` so every worker's
+   dynamic ``minNhp`` keeps rising as the fleet fills up.
+4. **Merge** — per-shard top-k lists are folded through
+   :meth:`TopKCollector.merge`; the total rank order makes the outcome
+   byte-identical for any worker count, including ``workers=1``.
+
+The result carries *exact* Definition 5 semantics: it equals serial
+``GRMiner(..., push_topk=False)`` truncated to k, and the brute-force
+reference miner, GR for GR.  (Serial ``GRMiner(k)`` agrees too except in
+the rare blocker-in-pruned-subtree case of DESIGN.md §5.5, where the
+parallel result is the more faithful one.)
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from typing import Sequence
+
+from ..core.miner import GRMiner
+from ..core.results import MiningResult, MiningStats
+from ..core.topk import TopKCollector
+from ..data.network import SocialNetwork
+from .bus import ThresholdBus
+from .planner import plan_shards
+from .worker import ShardResult, ShardTask, initialize_worker, make_worker_state, run_shard
+
+__all__ = ["ParallelGRMiner"]
+
+
+def _default_start_method() -> str:
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class ParallelGRMiner:
+    """Mine top-k GRs with sharded worker processes.
+
+    Accepts every :class:`~repro.core.miner.GRMiner` keyword argument,
+    plus:
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` uses ``os.cpu_count()``.  ``workers=1``
+        (or a single planned shard) runs in-process through the same
+        shard machinery — handy for debugging and for the determinism
+        guarantee that the answer never depends on the worker count.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheapest on Linux) and ``spawn`` elsewhere.
+    threshold_refresh:
+        How many threshold consultations a worker serves from its cached
+        bus floor before re-reading the bus (the exchange is best-effort;
+        staleness only costs pruning opportunity, never correctness).
+    """
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        workers: int | None = None,
+        start_method: str | None = None,
+        threshold_refresh: int = 64,
+        **miner_kwargs,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive process count")
+        self.network = network
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.start_method = start_method or _default_start_method()
+        self.threshold_refresh = threshold_refresh
+        self._miner_kwargs = dict(miner_kwargs)
+        # The coordinator's serial miner: validates parameters eagerly,
+        # owns the compact store that gets exported, and does the branch
+        # planning.  Also the in-process executor on the workers=1 path.
+        self._serial = GRMiner(network, **miner_kwargs)
+
+    # ------------------------------------------------------------------
+    def mine(self) -> MiningResult:
+        """Plan, shard, mine and merge; returns the ranked result."""
+        start = time.perf_counter()
+        plan = self._serial.plan_branches()
+        shards = plan_shards(plan.branches, self.workers)
+        if len(shards) <= 1 or self.workers == 1:
+            shard_results = self._mine_inline(shards)
+        else:
+            shard_results = self._mine_pool(shards)
+
+        merged = TopKCollector.merge(
+            (result.entries for result in shard_results),
+            k=self._serial.k,
+            min_score=self._serial.min_score,
+        )
+        stats = self._merge_stats(shard_results, plan.pruned_by_support)
+        stats.runtime_seconds = time.perf_counter() - start
+        params = self._serial._params()
+        params.update(
+            workers=self.workers,
+            shards=len(shards),
+            start_method=self.start_method,
+        )
+        return MiningResult(grs=merged.results(), stats=stats, params=params)
+
+    # ------------------------------------------------------------------
+    def _mine_inline(self, shards: Sequence[tuple]) -> list[ShardResult]:
+        """Run every shard sequentially in this process (no pool)."""
+        state = make_worker_state(
+            self.network, self._serial.store, self._miner_kwargs
+        )
+        state.miner = self._serial
+        return [
+            run_shard(ShardTask(shard_id=i, branches=branches), state=state)
+            for i, branches in enumerate(shards)
+        ]
+
+    def _mine_pool(self, shards: Sequence[tuple]) -> list[ShardResult]:
+        """Fan the shards out over a process pool."""
+        ctx = mp.get_context(self.start_method)
+        tasks = [
+            ShardTask(shard_id=i, branches=branches)
+            for i, branches in enumerate(shards)
+        ]
+        export = self._serial.store.export_shared()
+        bus: ThresholdBus | None = None
+        if self._serial.push_topk and self._serial.k is not None:
+            bus = ThresholdBus(num_slots=len(shards))
+        try:
+            with ctx.Pool(
+                processes=len(shards),
+                initializer=initialize_worker,
+                initargs=(
+                    export.handle,
+                    bus.handle() if bus is not None else None,
+                    self._miner_kwargs,
+                    self.threshold_refresh,
+                ),
+            ) as pool:
+                return pool.map(run_shard, tasks, chunksize=1)
+        finally:
+            if bus is not None:
+                bus.release()
+            export.release()
+
+    @staticmethod
+    def _merge_stats(
+        shard_results: Sequence[ShardResult], planner_pruned: int
+    ) -> MiningStats:
+        totals = MiningStats(pruned_by_support=planner_pruned)
+        for result in shard_results:
+            totals.lw_nodes += result.stats.lw_nodes
+            totals.grs_examined += result.stats.grs_examined
+            totals.candidates += result.stats.candidates
+            totals.pruned_by_support += result.stats.pruned_by_support
+            totals.pruned_by_nhp += result.stats.pruned_by_nhp
+            totals.pruned_by_generality += result.stats.pruned_by_generality
+        return totals

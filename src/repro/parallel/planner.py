@@ -1,0 +1,48 @@
+"""Degree-weighted shard planning for the parallel miner.
+
+The unit of distribution is a first-level branch of the SFDF tree
+(:class:`~repro.core.miner.BranchSpec`).  Branch costs are highly skewed
+— a branch's work is roughly proportional to its edge-subset size, i.e.
+the summed out-degree of the sources matching its root assignment — so
+round-robin assignment would routinely leave one worker holding the one
+hot branch.  :func:`plan_shards` instead runs the classic LPT greedy
+(longest processing time first): branches sorted by descending weight,
+each placed on the currently least-loaded shard, which is within 4/3 of
+the optimal makespan and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from ..core.miner import BranchSpec
+
+__all__ = ["plan_shards"]
+
+
+def plan_shards(
+    branches: Sequence[BranchSpec], num_shards: int
+) -> list[tuple[BranchSpec, ...]]:
+    """Partition branches into at most ``num_shards`` balanced shards.
+
+    Deterministic: branches are ordered by (weight desc, token index,
+    value) before the greedy pass, and ties on load go to the
+    lowest-numbered shard.  Returns only non-empty shards, each with its
+    branches restored to enumeration order (root first, then τ order) so
+    a worker's traversal matches the serial miner's within its slice.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    shards: list[list[BranchSpec]] = [[] for _ in range(num_shards)]
+    heap: list[tuple[int, int]] = [(0, i) for i in range(num_shards)]
+    ordered = sorted(
+        branches, key=lambda b: (-b.weight, b.kind != "root", b.token_index, b.value)
+    )
+    for branch in ordered:
+        load, index = heapq.heappop(heap)
+        shards[index].append(branch)
+        heapq.heappush(heap, (load + max(1, branch.weight), index))
+    for shard in shards:
+        shard.sort(key=lambda b: (b.kind != "root", b.token_index, b.value))
+    return [tuple(shard) for shard in shards if shard]

@@ -1,0 +1,207 @@
+"""Per-process execution of enumeration-tree shards.
+
+A worker process is initialized once (:func:`initialize_worker`): it
+attaches the shared-memory store export and the threshold bus, and
+lazily builds one :class:`~repro.core.miner.GRMiner` over the attached
+read-only data.  Each :class:`ShardTask` then replays the serial miner's
+recursion over its slice of first-level branches via the branch-entry
+API, and ships back a :class:`ShardResult` of mined entries plus effort
+counters.
+
+Cross-shard generality
+----------------------
+The serial miner's generality index is a *global* structure: a blocker
+(a more general GR passing condition (1)) may be enumerated in a
+different first-level branch than the GRs it blocks — e.g. the blocker
+``(Region:R) → r`` lives in the Region branch while the blocked
+``(Age:a, Region:R) → r`` lives in the Age branch.  A worker-local index
+therefore cannot enforce Definition 5(2) alone.  Instead of shipping
+index updates between processes (which would serialize the walk), the
+worker verifies each would-be top-k candidate against
+:class:`CrossShardGeneralityVerifier`: every proper LHS∧edge
+sub-selection is evaluated *directly on the data* (memoized), which
+decides blocked-ness from first principles, independent of what any
+shard happened to enumerate.  This makes each shard's collector hold
+exactly the Definition-5-valid candidates of its slice — the property
+the deterministic merge relies on — and as a side effect gives the
+parallel miner *exact* Definition 5 semantics even where serial
+GRMiner(k)'s dynamic threshold can drop below k results (DESIGN.md
+§5.5's blocker-in-pruned-subtree case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.miner import BranchSpec, GRMiner
+from ..core.results import MinedGR, MiningStats
+from ..core.enumeration import static_tau
+from ..core.topk import GeneralityIndex, TopKCollector
+from ..data.store import SharedStoreHandle, attach_shared_store
+from .bus import BusHandle, SharedThresholdCollector, ThresholdBus
+
+__all__ = [
+    "CrossShardGeneralityVerifier",
+    "ShardResult",
+    "ShardTask",
+    "initialize_worker",
+    "make_worker_state",
+    "run_shard",
+]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One worker assignment: a slot on the bus plus its branches."""
+
+    shard_id: int
+    branches: tuple[BranchSpec, ...]
+
+
+@dataclass
+class ShardResult:
+    """What a shard sends back to the coordinator."""
+
+    shard_id: int
+    entries: list[MinedGR]
+    stats: MiningStats
+
+
+@dataclass
+class WorkerState:
+    """Everything a worker keeps between tasks."""
+
+    network: object
+    store: object
+    miner_kwargs: Mapping
+    bus: ThresholdBus | None
+    refresh_every: int
+    shm: object = None  # keeps the attached segment alive
+    miner: GRMiner | None = field(default=None)
+
+
+#: Process-global state, populated by the pool initializer.
+_STATE: list[WorkerState] = []
+
+
+def make_worker_state(
+    network,
+    store,
+    miner_kwargs: Mapping,
+    bus: ThresholdBus | None = None,
+    refresh_every: int = 64,
+    shm=None,
+) -> WorkerState:
+    """Build a state object (also used in-process for ``workers=1``)."""
+    return WorkerState(
+        network=network,
+        store=store,
+        miner_kwargs=dict(miner_kwargs),
+        bus=bus,
+        refresh_every=refresh_every,
+        shm=shm,
+    )
+
+
+def initialize_worker(
+    store_handle: SharedStoreHandle,
+    bus_handle: BusHandle | None,
+    miner_kwargs: Mapping,
+    refresh_every: int,
+) -> None:
+    """Pool initializer: attach shared data once per worker process."""
+    network, store, shm = attach_shared_store(store_handle)
+    bus = ThresholdBus(handle=bus_handle) if bus_handle is not None else None
+    _STATE.clear()
+    _STATE.append(
+        make_worker_state(network, store, miner_kwargs, bus, refresh_every, shm=shm)
+    )
+
+
+class CrossShardGeneralityVerifier:
+    """Definition 5(2) decided by direct evaluation (see module docs).
+
+    Called with a candidate's code maps; returns True when some strictly
+    more general GR with the same RHS qualifies under condition (1).
+    Qualification checks mirror the serial miner's verification pass:
+    non-trivial (unless trivial GRs are admitted), non-empty LHS (unless
+    admitted), supp ≥ minSupp, score ≥ the user threshold.  Verdicts are
+    memoized per (LHS, edge, RHS) selection — generalization sets of
+    neighbouring candidates overlap heavily, so the cache hit rate is
+    high within a shard.
+    """
+
+    def __init__(self, miner: GRMiner) -> None:
+        self._miner = miner
+        self._memo: dict[tuple, bool] = {}
+
+    def __call__(
+        self,
+        l_map: dict[str, int],
+        w_map: dict[str, int],
+        r_map: dict[str, int],
+    ) -> bool:
+        miner = self._miner
+        l_key = tuple(sorted(l_map.items()))
+        w_key = tuple(sorted(w_map.items()))
+        r_key = tuple(sorted(r_map.items()))
+        for l_sel, w_sel in GeneralityIndex._lw_subselections(l_key, w_key):
+            if not l_sel and not miner.allow_empty_lhs:
+                continue
+            if self._qualifies(l_sel, w_sel, r_key):
+                return True
+        return False
+
+    def _qualifies(self, l_sel: tuple, w_sel: tuple, r_key: tuple) -> bool:
+        key = (l_sel, w_sel, r_key)
+        cached = self._memo.get(key)
+        if cached is None:
+            miner = self._miner
+            metrics, trivial = miner.evaluate_codes(
+                dict(l_sel), dict(w_sel), dict(r_key)
+            )
+            cached = miner.blocker_qualifies(metrics, trivial)
+            self._memo[key] = cached
+        return cached
+
+
+def _shard_miner(state: WorkerState) -> GRMiner:
+    if state.miner is None:
+        state.miner = GRMiner(
+            state.network, store=state.store, **state.miner_kwargs
+        )
+    return state.miner
+
+
+def run_shard(task: ShardTask, state: WorkerState | None = None) -> ShardResult:
+    """Mine one shard's branches and return its verified entries."""
+    if state is None:
+        if not _STATE:
+            raise RuntimeError("worker not initialized — call initialize_worker first")
+        state = _STATE[0]
+    miner = _shard_miner(state)
+    if state.bus is not None and miner.push_topk and miner.k is not None:
+        collector: TopKCollector = SharedThresholdCollector(
+            k=miner.k,
+            min_score=miner.min_score,
+            bus=state.bus,
+            slot=task.shard_id,
+            refresh_every=state.refresh_every,
+        )
+    else:
+        collector = TopKCollector(
+            k=miner.k if miner.push_topk else None, min_score=miner.min_score
+        )
+    miner._begin(collector)
+    miner._candidate_verifier = (
+        CrossShardGeneralityVerifier(miner) if miner.apply_generality else None
+    )
+    tau = static_tau(miner.schema, miner.node_attributes)
+    for branch in task.branches:
+        miner.mine_branch(tau, branch)
+    return ShardResult(
+        shard_id=task.shard_id,
+        entries=miner._collector.results(),
+        stats=miner._stats,
+    )

@@ -4,10 +4,20 @@ GRMiner partitions data at every enumeration node and "a linear sorting
 method, Counting Sort, is adopted to sort and get the aggregate of each
 partition.  It sorts in O(N) time without any key comparisons."
 
-:func:`counting_sort_argsort` is a direct translation of CLRS 8.2 keyed on
-small non-negative integers, and :func:`partition_by_value` uses it to
-split an index array into per-value runs, which is exactly what the
-LEFT/EDGE/RIGHT procedures of Algorithm 1 need.
+:func:`counting_sort_argsort` computes the stable counting-sort
+permutation of CLRS 8.2 keyed on small non-negative integers, and
+:func:`partition_by_value` uses it to split an index array into
+per-value runs, which is exactly what the LEFT/EDGE/RIGHT procedures of
+Algorithm 1 need.
+
+The placement pass runs inside numpy: keys are narrowed to the smallest
+unsigned dtype covering the domain and handed to ``np.argsort`` with
+``kind="stable"``, which for integer dtypes is an LSB radix sort — i.e.
+successive counting-sort passes (one pass for domains below 2^8, two
+below 2^16).  The permutation is bit-identical to the classic
+per-element placement loop (kept as :func:`_placement_loop_argsort`, the
+reference the regression tests compare against), because a stable sort
+permutation is unique.
 """
 
 from __future__ import annotations
@@ -17,6 +27,31 @@ from typing import Iterator
 import numpy as np
 
 __all__ = ["counting_sort_argsort", "partition_by_value", "value_counts"]
+
+
+def _key_dtype(domain_size: int) -> np.dtype:
+    """Smallest unsigned dtype holding codes in ``[0, domain_size]``."""
+    if domain_size < 1 << 8:
+        return np.dtype(np.uint8)
+    if domain_size < 1 << 16:
+        return np.dtype(np.uint16)
+    if domain_size < 1 << 32:
+        return np.dtype(np.uint32)
+    return np.dtype(np.uint64)
+
+
+def _placement_loop_argsort(keys: np.ndarray, domain_size: int) -> np.ndarray:
+    """Reference CLRS 8.2 placement loop (used by the regression tests)."""
+    counts = np.bincount(keys, minlength=domain_size + 1)
+    starts = np.zeros(domain_size + 2, dtype=np.int64)
+    np.cumsum(counts, out=starts[1 : counts.size + 1])
+    starts[counts.size + 1 :] = starts[counts.size]
+    order = np.empty(keys.size, dtype=np.int64)
+    cursor = starts[:-1].copy()
+    for i, key in enumerate(keys):
+        order[cursor[key]] = i
+        cursor[key] += 1
+    return order
 
 
 def counting_sort_argsort(keys: np.ndarray, domain_size: int) -> np.ndarray:
@@ -39,20 +74,15 @@ def counting_sort_argsort(keys: np.ndarray, domain_size: int) -> np.ndarray:
     keys = np.asarray(keys)
     if keys.ndim != 1:
         raise ValueError("counting sort expects a 1-D key array")
-    counts = np.bincount(keys, minlength=domain_size + 1)
-    # Exclusive prefix sums give the starting offset of each key's run.
-    starts = np.zeros(domain_size + 2, dtype=np.int64)
-    np.cumsum(counts, out=starts[1 : counts.size + 1])
-    starts[counts.size + 1 :] = starts[counts.size]
-    order = np.empty(keys.size, dtype=np.int64)
-    cursor = starts[:-1].copy()
-    # The classic CLRS placement loop, vectorized: argsort with a stable
-    # O(N + K) radix pass.  np.argsort(kind="stable") would be O(N log N);
-    # this reproduces the paper's linear-time behaviour.
-    for i, key in enumerate(keys):
-        order[cursor[key]] = i
-        cursor[key] += 1
-    return order
+    if keys.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if int(keys.min()) < 0 or int(keys.max()) > domain_size:
+        raise ValueError(
+            f"counting sort keys must lie in [0, {domain_size}]"
+        )
+    narrow = keys.astype(_key_dtype(domain_size), copy=False)
+    order = np.argsort(narrow, kind="stable")
+    return order.astype(np.int64, copy=False)
 
 
 def value_counts(keys: np.ndarray, domain_size: int) -> np.ndarray:
@@ -89,14 +119,14 @@ def partition_by_value(
         raise ValueError("items and keys must be aligned 1-D arrays")
     if items.size == 0:
         return
-    counts = np.bincount(keys, minlength=domain_size + 1)
+    counts = value_counts(keys, domain_size)
     # Grouping via the counting-sort permutation: one linear pass, then
-    # contiguous slices per value.
-    order = np.argsort(keys, kind="stable")
+    # contiguous slices per value sized by the counting-sort histogram.
+    order = counting_sort_argsort(keys, domain_size)
     sorted_items = items[order]
     offset = 0
     for value in range(domain_size + 1):
-        count = int(counts[value]) if value < counts.size else 0
+        count = int(counts[value])
         if count == 0:
             continue
         subset = sorted_items[offset : offset + count]

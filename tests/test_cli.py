@@ -139,6 +139,41 @@ class TestMine:
         out = capsys.readouterr().out
         assert "EDU" not in out.split("[")[0]  # no EDU conditions in results
 
+    def test_workers_flag_mines_in_parallel(self, toy_dir, capsys):
+        assert (
+            main(
+                [
+                    "mine",
+                    str(toy_dir),
+                    "-k",
+                    "3",
+                    "--min-support",
+                    "2",
+                    "--min-nhp",
+                    "0.5",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Top-3 GRs by nhp" in out
+
+    def test_workers_flag_matches_serial_output(self, toy_dir, capsys):
+        args = ["mine", str(toy_dir), "-k", "3", "--min-support", "2"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # The serial GRMiner(k) heuristic can return fewer than k GRs
+        # (DESIGN.md §5.5); the parallel miner is exact, so the serial
+        # table must be a prefix of the parallel one.
+        serial_table = [l for l in serial_out.splitlines() if "-->" in l]
+        parallel_table = [l for l in parallel_out.splitlines() if "-->" in l]
+        assert serial_table == parallel_table[: len(serial_table)]
+        assert len(parallel_table) >= len(serial_table)
+
     def test_rank_by_confidence(self, toy_dir, capsys):
         assert main(["mine", str(toy_dir), "--rank-by", "confidence"]) == 0
         assert "confidence" in capsys.readouterr().out

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sortutil.counting_sort import (
+    _placement_loop_argsort,
     counting_sort_argsort,
     partition_by_value,
     value_counts,
@@ -42,6 +43,44 @@ class TestCountingSortArgsort:
         assert list(order) == list(expected)
 
 
+class TestVectorizedScatterRegression:
+    """The numpy scatter must be byte-identical to the CLRS placement loop."""
+
+    ADVERSARIAL = [
+        (np.zeros(257, dtype=np.int64), 1),  # all-null, longer than one radix bucket
+        (np.full(100, 7, dtype=np.int64), 7),  # all equal at the domain edge
+        (np.arange(500, dtype=np.int64)[::-1] % 9, 8),  # descending, repeating
+        (np.array([0], dtype=np.int64), 3),  # singleton
+        (np.tile(np.array([5, 0, 5, 5, 0]), 101), 5),  # long tie runs
+        (np.array([300, 0, 299, 300, 1], dtype=np.int64), 300),  # uint16 path
+        (np.array([70_000, 0, 70_000], dtype=np.int64), 70_000),  # uint32 path
+    ]
+
+    @pytest.mark.parametrize("keys,domain", ADVERSARIAL)
+    def test_byte_identical_to_loop(self, keys, domain):
+        fast = counting_sort_argsort(keys, domain)
+        loop = _placement_loop_argsort(keys, domain)
+        assert fast.dtype == loop.dtype == np.int64
+        assert fast.tobytes() == loop.tobytes()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=17), max_size=400),
+        st.integers(min_value=17, max_value=1000),
+    )
+    @settings(max_examples=60)
+    def test_byte_identical_on_random_keys(self, values, domain):
+        keys = np.array(values, dtype=np.int64)
+        fast = counting_sort_argsort(keys, domain)
+        loop = _placement_loop_argsort(keys, domain)
+        assert fast.tobytes() == loop.tobytes()
+
+    def test_out_of_range_keys_rejected(self):
+        with pytest.raises(ValueError):
+            counting_sort_argsort(np.array([0, 5]), domain_size=4)
+        with pytest.raises(ValueError):
+            counting_sort_argsort(np.array([-1, 0]), domain_size=4)
+
+
 class TestValueCounts:
     def test_histogram(self):
         counts = value_counts(np.array([0, 2, 2, 1]), domain_size=3)
@@ -71,6 +110,18 @@ class TestPartitionByValue:
 
     def test_empty_input_yields_nothing(self):
         assert list(partition_by_value(np.array([]), np.array([]), 3)) == []
+
+    def test_empty_partitions_not_yielded(self):
+        items = np.arange(4)
+        keys = np.array([3, 3, 1, 3])
+        parts = list(partition_by_value(items, keys, domain_size=5))
+        assert [value for value, _ in parts] == [1, 3]
+        assert all(subset.size for _, subset in parts)
+
+    def test_null_only_input_yields_nothing(self):
+        items = np.arange(3)
+        keys = np.zeros(3, dtype=np.int64)
+        assert list(partition_by_value(items, keys, domain_size=4)) == []
 
     def test_misaligned_inputs_rejected(self):
         with pytest.raises(ValueError):

@@ -7,6 +7,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.core",
+    "repro.parallel",
     "repro.data",
     "repro.datasets",
     "repro.analysis",
@@ -43,6 +44,7 @@ class TestTopLevelConvenience:
             "Descriptor",
             "GRMiner",
             "MetricEngine",
+            "ParallelGRMiner",
             "SocialNetwork",
             "Schema",
             "Attribute",

@@ -107,3 +107,77 @@ class TestStorageClaim:
         store = CompactStore(network)
         assert store.l_nodes.size == 1  # only node 0 has out-edges
         assert store.r_nodes.size == 1  # only node 1 has in-edges
+
+
+class TestSharedMemoryExport:
+    """Zero-copy shared-memory round trip (repro.parallel substrate)."""
+
+    def test_round_trip_preserves_every_array(self, small_network):
+        from repro.data.store import attach_shared_store
+
+        store = CompactStore(small_network)
+        with store.export_shared() as export:
+            network2, store2, shm = attach_shared_store(export.handle)
+            try:
+                np.testing.assert_array_equal(store2.e_ptr, store.e_ptr)
+                np.testing.assert_array_equal(store2.e_src_row, store.e_src_row)
+                np.testing.assert_array_equal(store2.l_ind, store.l_ind)
+                for name in small_network.schema.node_attribute_names:
+                    np.testing.assert_array_equal(
+                        store2.l_attrs[name], store.l_attrs[name]
+                    )
+                    np.testing.assert_array_equal(
+                        network2.node_column(name), small_network.node_column(name)
+                    )
+                for name in small_network.schema.edge_attribute_names:
+                    np.testing.assert_array_equal(
+                        store2.e_attrs[name], store.e_attrs[name]
+                    )
+                np.testing.assert_array_equal(network2.src, small_network.src)
+                np.testing.assert_array_equal(network2.dst, small_network.dst)
+            finally:
+                shm.close()
+
+    def test_attached_views_are_zero_copy_and_read_only(self, small_network):
+        from repro.data.store import attach_shared_store
+
+        store = CompactStore(small_network)
+        with store.export_shared() as export:
+            _, store2, shm = attach_shared_store(export.handle)
+            try:
+                assert not store2.e_ptr.flags.owndata  # a view over the segment
+                with pytest.raises(ValueError):
+                    store2.e_ptr[0] = 99
+            finally:
+                shm.close()
+
+    def test_handle_is_picklable(self, small_network):
+        import pickle
+
+        store = CompactStore(small_network)
+        with store.export_shared() as export:
+            restored = pickle.loads(pickle.dumps(export.handle))
+            assert restored.shm_name == export.handle.shm_name
+            assert restored.num_edges == store.num_edges
+
+    def test_release_is_idempotent(self, small_network):
+        store = CompactStore(small_network)
+        export = store.export_shared()
+        export.release()
+        export.release()  # second call must not raise
+
+    def test_mining_over_attached_store_matches(self, small_network):
+        from repro.core.miner import GRMiner
+        from repro.data.store import attach_shared_store
+
+        store = CompactStore(small_network)
+        baseline = GRMiner(small_network, k=5, min_support=1, min_score=0.0).mine()
+        with store.export_shared() as export:
+            network2, store2, shm = attach_shared_store(export.handle)
+            try:
+                mined = GRMiner(
+                    network2, k=5, min_support=1, min_score=0.0, store=store2
+                ).mine()
+                assert [str(m.gr) for m in mined] == [str(m.gr) for m in baseline]
+            finally:
+                shm.close()

@@ -118,3 +118,46 @@ class TestTopKCollector:
         results = collector.results()
         results.clear()
         assert len(collector) == 1
+
+
+class TestMerge:
+    """Recombining per-shard collections (the parallel reduce step)."""
+
+    def _filled(self, names_scores):
+        collector = TopKCollector(k=None, min_score=0.0)
+        for name, score in names_scores:
+            collector.offer(_gr(name), _metrics(), score)
+        return collector
+
+    def test_merge_equals_direct_collection(self):
+        entries = [("a", 0.9), ("b", 0.7), ("c", 0.8), ("d", 0.6), ("e", 0.95)]
+        direct = self._filled(entries)
+        shard1 = self._filled(entries[:2])
+        shard2 = self._filled(entries[2:])
+        merged = TopKCollector.merge([shard1, shard2], k=None)
+        assert [m.gr for m in merged.results()] == [m.gr for m in direct.results()]
+
+    def test_merge_truncates_to_k(self):
+        shard1 = self._filled([("a", 0.9), ("b", 0.2)])
+        shard2 = self._filled([("c", 0.8), ("d", 0.5)])
+        merged = TopKCollector.merge([shard1, shard2], k=2)
+        assert [m.score for m in merged.results()] == [0.9, 0.8]
+
+    def test_merge_is_order_invariant(self):
+        shards = [
+            self._filled([("a", 0.9), ("b", 0.7)]),
+            self._filled([("c", 0.7), ("d", 0.6)]),
+            self._filled([("e", 0.7)]),
+        ]
+        forward = TopKCollector.merge(shards, k=3).results()
+        backward = TopKCollector.merge(list(reversed(shards)), k=3).results()
+        assert [m.gr for m in forward] == [m.gr for m in backward]
+
+    def test_merge_accepts_plain_entry_lists(self):
+        shard = self._filled([("a", 0.9)])
+        merged = TopKCollector.merge([shard.results(), []], k=None)
+        assert len(merged) == 1
+
+    def test_collector_is_iterable(self):
+        collector = self._filled([("a", 0.9), ("b", 0.7)])
+        assert [m.score for m in collector] == [0.9, 0.7]
