@@ -24,12 +24,30 @@ lists into the same ranked answer for any worker count:
 >>> len(result) <= 5
 True
 
+Many queries against the same network should share a
+:class:`~repro.engine.MiningEngine`: it builds and exports the compact
+store once, keeps one worker fleet alive, and serves a stream of
+:class:`~repro.engine.MineRequest` queries with an LRU result cache:
+
+>>> from repro import MineRequest, MiningEngine
+>>> with MiningEngine(toy_dating_network()) as engine:
+...     results = engine.sweep([
+...         MineRequest(k=5, min_support=2, min_nhp=0.5),
+...         MineRequest(k=3, min_support=2, min_nhp=0.6),
+...     ])
+>>> [len(r) <= 5 for r in results]
+[True, True]
+
 Package map
 -----------
 ``repro.core``      GRMiner, metrics, baselines, alternative metrics.
+``repro.engine``    The long-lived session layer: MiningEngine serves
+                    many MineRequest queries over one shared store,
+                    one worker fleet and an LRU result cache.
 ``repro.parallel``  Sharded multi-process mining: shard planner,
-                    shared-memory store export, threshold bus, and the
-                    deterministic merge (ParallelGRMiner).
+                    shared-memory store export, threshold bus, pool
+                    lifecycle, and the deterministic merge
+                    (ParallelGRMiner).
 ``repro.data``      Schemas, networks, the compact LArray/EArray/RArray
                     store (including its shared-memory export) and the
                     single-table model.
@@ -57,9 +75,10 @@ from .core import (
     mine_top_k,
 )
 from .data import Attribute, CompactStore, EdgeTable, Schema, SocialNetwork
+from .engine import MineRequest, MiningEngine
 from .parallel import ParallelGRMiner
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlternativeMetricMiner",
@@ -77,6 +96,8 @@ __all__ = [
     "GRMiner",
     "MetricEngine",
     "MinedGR",
+    "MineRequest",
+    "MiningEngine",
     "MiningResult",
     "Schema",
     "SocialNetwork",

@@ -22,9 +22,45 @@ from ..core.baselines import BL1Miner, BL2Miner
 from ..core.miner import GRMiner
 from ..data.network import SocialNetwork
 
-__all__ = ["algorithm_factories", "parallel_factory", "run_series", "format_series"]
+__all__ = [
+    "algorithm_factories",
+    "engine_factory",
+    "parallel_factory",
+    "run_series",
+    "format_series",
+]
 
 AlgorithmFactory = Callable[..., object]
+
+
+def engine_factory(engine) -> AlgorithmFactory:
+    """Adapt a shared :class:`~repro.engine.MiningEngine` to the bench.
+
+    Drop it into a :func:`run_series` algorithm map next to the one-shot
+    factories: every timed ``mine()`` routes through the *same* engine,
+    so the row measures the amortized per-query latency (no store
+    rebuild, no re-export, no pool respawn) against the cold-start
+    contenders.  The engine's own result cache would turn repeat points
+    into near-zero rows, so sweeps that revisit parameters should build
+    the engine with ``cache_size=0``.
+    """
+
+    from ..engine import MineRequest  # deferred: keep bench import light
+
+    class _Bound:
+        def __init__(self, request):
+            self._request = request
+
+        def mine(self):
+            return engine.mine(self._request)
+
+    def make(network: SocialNetwork, **kw):
+        if network is not engine.network:
+            raise ValueError("engine_factory is bound to the engine's own network")
+        kw.setdefault("workers", None if engine.workers == 1 else engine.workers)
+        return _Bound(MineRequest.create(**kw))
+
+    return make
 
 
 def parallel_factory(workers: int) -> AlgorithmFactory:

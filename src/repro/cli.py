@@ -6,6 +6,9 @@ Commands
                to a CSV directory.
 ``info``       Print a dataset's schema, sizes and homophily report.
 ``mine``       Run GRMiner on a CSV directory and print the top-k GRs.
+``sweep``      Run a parameter grid through one long-lived MiningEngine
+               (store built/exported once, one worker fleet, cached
+               results) and print the per-combo summary table.
 ``compare``    Print the Table II style nhp-vs-conf comparison.
 ``homophily``  Suggest homophily attributes from the data.
 """
@@ -60,6 +63,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     mine = sub.add_parser("mine", help="run GRMiner on a CSV dataset")
     _add_mining_arguments(mine)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a parameter grid through one MiningEngine"
+    )
+    sweep.add_argument("directory", help="CSV dataset directory")
+    sweep.add_argument(
+        "-k", type=int, nargs="+", default=[10], help="result sizes to sweep"
+    )
+    sweep.add_argument(
+        "--min-support",
+        type=_parse_min_support,
+        nargs="+",
+        default=[1],
+        help="support thresholds to sweep (absolute >=1 or fraction <1)",
+    )
+    sweep.add_argument(
+        "--min-nhp", type=float, nargs="+", default=[0.5], help="score thresholds"
+    )
+    sweep.add_argument(
+        "--rank-by",
+        choices=("nhp", "confidence", "laplace", "gain"),
+        nargs="+",
+        default=["nhp"],
+        help="ranking metrics to sweep",
+    )
+    sweep.add_argument(
+        "--homophily", nargs="*", default=None,
+        help="override the schema's homophily attributes",
+    )
+    sweep.add_argument(
+        "--attributes", nargs="*", default=None, help="restrict node attributes"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        metavar="N",
+        help="serve every combo through a shared N-process fleet; "
+        "default is the engine's serial path",
+    )
+    sweep.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the sweep rows (grid point, result sizes, "
+        "timings, engine stats) as JSON",
+    )
 
     compare = sub.add_parser("compare", help="Table II style nhp-vs-conf comparison")
     _add_mining_arguments(compare)
@@ -211,6 +261,70 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import itertools
+
+    from .bench.harness import format_series
+    from .engine import MineRequest, MiningEngine
+
+    network = _load(args.directory, args.homophily)
+    options = {}
+    if args.attributes is not None:
+        options["node_attributes"] = tuple(args.attributes)
+    requests = [
+        MineRequest.create(
+            k=k,
+            min_support=min_support,
+            min_nhp=min_nhp,
+            rank_by=rank_by,
+            workers=args.workers,
+            **options,
+        )
+        for k, min_support, min_nhp, rank_by in itertools.product(
+            args.k, args.min_support, args.min_nhp, args.rank_by
+        )
+    ]
+    rows = []
+    with MiningEngine(network, workers=args.workers) as engine:
+        results = engine.sweep(requests)
+        mined: set[int] = set()
+        for request, result in zip(requests, results):
+            # Grid points that canonicalize to an already-mined query are
+            # served by reference; reporting the sibling's runtime again
+            # would double-count the sweep's wall time.
+            cached = id(result) in mined
+            mined.add(id(result))
+            rows.append(
+                {
+                    "k": request.k,
+                    "minSupp": request.min_support,
+                    "minNhp": request.min_nhp,
+                    "rank_by": request.rank_by,
+                    "grs": len(result),
+                    # None (→ JSON null) for empty points; NaN is not
+                    # valid strict JSON.
+                    "best": result[0].score if len(result) else None,
+                    "time (s)": 0.0 if cached else result.stats.runtime_seconds,
+                    "cached": cached,
+                }
+            )
+        stats = engine.stats.as_dict()
+    print(format_series(rows, title=f"Sweep of {len(requests)} queries — {network}"))
+    print(
+        f"\n[engine: {stats['exports']} store export(s), "
+        f"{stats['pool_spawns']} pool spawn(s), {stats['cache_hits']} cache hit(s) "
+        f"across {stats['queries']} queries]"
+    )
+    if args.json:
+        import json
+
+        payload = {"rows": rows, "engine": stats}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     network = _load(args.directory, args.homophily)
     common = dict(
@@ -241,6 +355,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
     "mine": _cmd_mine,
+    "sweep": _cmd_sweep,
     "compare": _cmd_compare,
     "homophily": _cmd_homophily,
 }

@@ -15,7 +15,7 @@ from .interestingness import (
     piatetsky_shapiro,
 )
 from .metrics import GRMetrics, MetricEngine
-from .miner import GRMiner, mine_top_k
+from .miner import GRMiner, MinerConfig, mine_top_k
 from .results import MinedGR, MiningResult, MiningStats
 from .topk import GeneralityIndex, TopKCollector
 
@@ -33,6 +33,7 @@ __all__ = [
     "GeneralityIndex",
     "MetricEngine",
     "MinedGR",
+    "MinerConfig",
     "MiningResult",
     "MiningStats",
     "Token",

@@ -45,7 +45,7 @@ from .metrics import GRMetrics
 from .results import MiningResult, MiningStats
 from .topk import GeneralityIndex, TopKCollector
 
-__all__ = ["BranchPlan", "BranchSpec", "GRMiner", "mine_top_k"]
+__all__ = ["BranchPlan", "BranchSpec", "GRMiner", "MinerConfig", "mine_top_k"]
 
 
 @dataclass
@@ -93,6 +93,130 @@ class BranchPlan:
     branches: tuple[BranchSpec, ...]
     #: First-level partitions discarded by minSupp during planning.
     pruned_by_support: int
+
+
+@dataclass(frozen=True)
+class MinerConfig:
+    """One mining query's parameters, split out of :class:`GRMiner`.
+
+    A config is the *reusable request/plan object* of the engine layer:
+    it is immutable, hashable, picklable (it travels inside shard tasks
+    to pool workers), and applyable to an existing miner skeleton via
+    :meth:`GRMiner.rearm` — so one miner, one compact store and one
+    worker fleet can serve an arbitrary stream of differently
+    parameterized queries without rebuilding anything store-derived.
+
+    Field semantics are documented on :class:`GRMiner`, whose keyword
+    arguments map one-to-one onto these fields.
+    """
+
+    min_support: int | float = 1
+    min_score: float = 0.0
+    k: int | None = None
+    rank_by: str = "nhp"
+    push_topk: bool = True
+    push_score_pruning: bool = True
+    dynamic_rhs_ordering: bool = True
+    node_attributes: tuple[str, ...] | None = None
+    include_trivial: bool | None = None
+    allow_empty_lhs: bool = False
+    max_lhs_attrs: int | None = None
+    max_rhs_attrs: int | None = None
+    max_edge_attrs: int | None = None
+    apply_generality: bool = True
+    laplace_k: int = 2
+    gain_theta: float = 0.5
+    verify_generality: bool = True
+
+    def __post_init__(self) -> None:
+        if self.node_attributes is not None:
+            object.__setattr__(self, "node_attributes", tuple(self.node_attributes))
+        self.validate()
+
+    def validate(self) -> None:
+        """Eager parameter checks (the ones GRMiner always enforced)."""
+        # Exercises the shared min_support checks without needing the
+        # edge count; the real translation happens at rearm time.
+        GRMiner._absolute_support(self.min_support, 1)
+        if self.rank_by not in ("nhp", "confidence", "laplace", "gain"):
+            raise ValueError(
+                f"rank_by must be one of 'nhp', 'confidence', 'laplace', 'gain'; "
+                f"got {self.rank_by!r}"
+            )
+        if self.rank_by != "gain" and not 0.0 <= self.min_score <= 1.0:
+            raise ValueError("min_score must be in [0, 1]")
+        if self.laplace_k <= 1:
+            raise ValueError("laplace_k must be an integer greater than 1 (Eqn. 10)")
+        if not 0.0 <= self.gain_theta <= 1.0:
+            raise ValueError("gain_theta must be a fraction in [0, 1] (Eqn. 11)")
+
+    def canonical_key(self, schema, num_edges: int) -> tuple:
+        """A hashable identity that resolves defaults and equivalences.
+
+        Two configs that would mine identically over a store of
+        ``num_edges`` edges map to the same key: fractional and absolute
+        ``min_support`` collapse to the absolute count, ``None`` /
+        explicit-default attribute lists collapse to the schema order,
+        and fields that cannot influence the result under the current
+        ranking (``laplace_k`` off-``laplace``, ``gain_theta``
+        off-``gain``, ``verify_generality`` without a dynamic top-k) are
+        masked out.  The engine's result cache is keyed by this.
+        """
+        node_attributes = (
+            self.node_attributes
+            if self.node_attributes is not None
+            else schema.node_attribute_names
+        )
+        include_trivial = (
+            self.include_trivial
+            if self.include_trivial is not None
+            else self.rank_by != "nhp"
+        )
+        return (
+            GRMiner._absolute_support(self.min_support, num_edges),
+            float(self.min_score),
+            self.k,
+            self.rank_by,
+            self.push_topk,
+            self.push_score_pruning,
+            self.dynamic_rhs_ordering,
+            tuple(node_attributes),
+            include_trivial,
+            self.allow_empty_lhs,
+            self.max_lhs_attrs,
+            self.max_rhs_attrs,
+            self.max_edge_attrs,
+            self.apply_generality,
+            self.laplace_k if self.rank_by == "laplace" else None,
+            self.gain_theta if self.rank_by == "gain" else None,
+            (
+                self.verify_generality
+                if self.push_topk and self.k is not None and self.apply_generality
+                else None
+            ),
+        )
+
+
+class _ColumnCache:
+    """Lazy per-edge code columns, persisting across re-arms of a miner.
+
+    The full-length gathers (``store.source_codes(name)`` etc.) cost one
+    O(|E|) fancy-index each; caching them per attribute means a re-armed
+    miner only ever pays for the attributes its queries actually touch,
+    once per miner lifetime.
+    """
+
+    __slots__ = ("_fetch", "_cols")
+
+    def __init__(self, fetch) -> None:
+        self._fetch = fetch
+        self._cols: dict[str, np.ndarray] = {}
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        col = self._cols.get(name)
+        if col is None:
+            col = self._cols[name] = self._fetch(name)
+        return col
 
 
 class GRMiner:
@@ -144,6 +268,12 @@ class GRMiner:
         A prebuilt :class:`~repro.data.store.CompactStore` for the
         network — e.g. one reconstructed from a shared-memory export by
         a parallel worker.  Defaults to building a fresh store.
+    config:
+        A prebuilt :class:`MinerConfig`.  When given, the individual
+        mining-parameter keywords must be left at their defaults — the
+        config is the single source of truth (the engine and the pool
+        workers construct miners this way).  The miner can later be
+        pointed at a different query with :meth:`rearm`.
     verify_generality:
         Only meaningful for GRMiner(k).  The published dynamic-threshold
         upgrade can prune a subtree containing a *generality blocker*
@@ -178,70 +308,121 @@ class GRMiner:
         gain_theta: float = 0.5,
         verify_generality: bool = True,
         store: CompactStore | None = None,
+        config: MinerConfig | None = None,
     ) -> None:
-        if rank_by not in ("nhp", "confidence", "laplace", "gain"):
+        from_kwargs = MinerConfig(
+            min_support=min_support,
+            min_score=min_score,
+            k=k,
+            rank_by=rank_by,
+            push_topk=push_topk,
+            push_score_pruning=push_score_pruning,
+            dynamic_rhs_ordering=dynamic_rhs_ordering,
+            node_attributes=(
+                tuple(node_attributes) if node_attributes is not None else None
+            ),
+            include_trivial=include_trivial,
+            allow_empty_lhs=allow_empty_lhs,
+            max_lhs_attrs=max_lhs_attrs,
+            max_rhs_attrs=max_rhs_attrs,
+            max_edge_attrs=max_edge_attrs,
+            apply_generality=apply_generality,
+            laplace_k=laplace_k,
+            gain_theta=gain_theta,
+            verify_generality=verify_generality,
+        )
+        if config is None:
+            config = from_kwargs
+        elif from_kwargs != MinerConfig():
             raise ValueError(
-                f"rank_by must be one of 'nhp', 'confidence', 'laplace', 'gain'; "
-                f"got {rank_by!r}"
+                "pass mining parameters either via config= or as individual "
+                "keywords, not both"
             )
-        if rank_by != "gain" and not 0.0 <= min_score <= 1.0:
-            raise ValueError("min_score must be in [0, 1]")
-        if laplace_k <= 1:
-            raise ValueError("laplace_k must be an integer greater than 1 (Eqn. 10)")
-        if not 0.0 <= gain_theta <= 1.0:
-            raise ValueError("gain_theta must be a fraction in [0, 1] (Eqn. 11)")
         self.network = network
         self.schema = network.schema
         self.store = store if store is not None else CompactStore(network)
-        self.min_support = min_support
-        self.abs_min_support = self._absolute_support(min_support, network.num_edges)
-        self.min_score = float(min_score)
-        self.k = k
-        self.rank_by = rank_by
-        self.push_topk = push_topk
-        self.push_score_pruning = push_score_pruning
-        self.dynamic_rhs_ordering = dynamic_rhs_ordering
-        self.node_attributes = (
-            tuple(node_attributes)
-            if node_attributes is not None
-            else self.schema.node_attribute_names
-        )
-        if include_trivial is None:
-            include_trivial = rank_by != "nhp"
-        self.include_trivial = include_trivial
-        self.allow_empty_lhs = allow_empty_lhs
-        self.max_lhs_attrs = max_lhs_attrs
-        self.max_rhs_attrs = max_rhs_attrs
-        self.max_edge_attrs = max_edge_attrs
-        self.apply_generality = apply_generality
-        self.laplace_k = laplace_k
-        self.gain_theta = gain_theta
-        self.verify_generality = verify_generality
 
+        # ---- store-derived state: built once, survives every rearm ----
         #: Optional hook consulted before offering a candidate to the
         #: collector: ``verifier(l_map, w_map, r_map) -> True`` when the
         #: candidate is blocked by a more general qualifying GR.  Used by
         #: the parallel workers, whose local generality index cannot see
         #: blockers discovered in sibling shards (repro.parallel.worker).
         self._candidate_verifier = None
-        #: First-level value partitions keyed by LEFT token index.  Pure
-        #: derived data over the immutable store, so it persists across
-        #: runs: plan_branches fills it, mine_branch reuses it (workers,
-        #: which never plan, fill it lazily for the tokens they own).
-        self._branch_partitions: dict[int, dict[int, np.ndarray]] = {}
-
+        #: First-level value partitions keyed by LEFT attribute name.
+        #: Pure derived data over the immutable store — independent of
+        #: the query parameters — so it persists across runs *and*
+        #: re-arms: plan_branches fills it, mine_branch reuses it
+        #: (workers, which never plan, fill it lazily for the attributes
+        #: they own).
+        self._branch_partitions: dict[str, dict[int, np.ndarray]] = {}
         self._homophily = {
-            name: self.schema.is_homophily(name) for name in self.node_attributes
+            name: self.schema.is_homophily(name)
+            for name in self.schema.node_attribute_names
         }
         self._domain = {
             name: self.schema.attribute(name).domain_size
-            for name in list(self.node_attributes) + list(self.schema.edge_attribute_names)
+            for name in (
+                list(self.schema.node_attribute_names)
+                + list(self.schema.edge_attribute_names)
+            )
         }
-        # Per-edge code columns resolved once through the compact store's
-        # pointer structure (EArray order).
-        self._src_cols = {n: self.store.source_codes(n) for n in self.node_attributes}
-        self._dst_cols = {n: self.store.dest_codes(n) for n in self.node_attributes}
-        self._edge_cols = {n: self.store.edge_codes(n) for n in self.schema.edge_attribute_names}
+        # Per-edge code columns resolved through the compact store's
+        # pointer structure (EArray order), gathered lazily per attribute
+        # and cached for the miner's lifetime.
+        self._src_cols = _ColumnCache(self.store.source_codes)
+        self._dst_cols = _ColumnCache(self.store.dest_codes)
+        self._edge_cols = _ColumnCache(self.store.edge_codes)
+
+        self.rearm(config)
+
+    def rearm(self, config: MinerConfig) -> "GRMiner":
+        """Point this miner skeleton at a new query.
+
+        Applies ``config`` to the existing network/store, re-deriving
+        only parameter-dependent state — the compact store, the cached
+        per-edge code columns and the first-level branch partitions all
+        survive, which is what makes a long-lived miner (an engine's
+        serial executor, a pool worker) cheap to re-target between
+        queries.  Returns ``self``.
+        """
+        config.validate()
+        node_attributes = (
+            config.node_attributes
+            if config.node_attributes is not None
+            else self.schema.node_attribute_names
+        )
+        for name in node_attributes:  # unknown-name check before any mutation
+            self.schema.node_attribute(name)
+        self.config = config
+        self.min_support = config.min_support
+        self.abs_min_support = self._absolute_support(
+            config.min_support, self.network.num_edges
+        )
+        self.min_score = float(config.min_score)
+        self.k = config.k
+        self.rank_by = config.rank_by
+        self.push_topk = config.push_topk
+        self.push_score_pruning = config.push_score_pruning
+        self.dynamic_rhs_ordering = config.dynamic_rhs_ordering
+        self.node_attributes = node_attributes
+        self.include_trivial = (
+            config.include_trivial
+            if config.include_trivial is not None
+            else config.rank_by != "nhp"
+        )
+        self.allow_empty_lhs = config.allow_empty_lhs
+        self.max_lhs_attrs = config.max_lhs_attrs
+        self.max_rhs_attrs = config.max_rhs_attrs
+        self.max_edge_attrs = config.max_edge_attrs
+        self.apply_generality = config.apply_generality
+        self.laplace_k = config.laplace_k
+        self.gain_theta = config.gain_theta
+        self.verify_generality = config.verify_generality
+        # A verifier installed for a previous query must not leak into
+        # the next one (it may cache verdicts under other thresholds).
+        self._candidate_verifier = None
+        return self
 
     @staticmethod
     def _absolute_support(min_support: int | float, num_edges: int) -> int:
@@ -343,17 +524,23 @@ class GRMiner:
     def _first_level_partition(
         self, tau: tuple[Token, ...], token_index: int
     ) -> dict[int, np.ndarray]:
-        """Cached per-value edge partition of one first-level LEFT token."""
-        per_value = self._branch_partitions.get(token_index)
+        """Cached per-value edge partition of one first-level LEFT token.
+
+        Keyed by attribute *name*, not token index: the partition depends
+        only on the immutable store, while a token's index shifts when a
+        re-arm changes ``node_attributes`` — a positional key would serve
+        query N+1 another attribute's partition.
+        """
+        token = tau[token_index]
+        per_value = self._branch_partitions.get(token.attr)
         if per_value is None:
-            token = tau[token_index]
             edges = self.store.all_edges()
             per_value = dict(
                 partition_by_value(
                     edges, self._src_cols[token.attr][edges], self._domain[token.attr]
                 )
             )
-            self._branch_partitions[token_index] = per_value
+            self._branch_partitions[token.attr] = per_value
         return per_value
 
     def mine_branch(self, tau: tuple[Token, ...], branch: BranchSpec) -> None:

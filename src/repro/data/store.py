@@ -33,6 +33,8 @@ worker.
 
 from __future__ import annotations
 
+import hashlib
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -45,6 +47,7 @@ __all__ = [
     "CompactStore",
     "SharedStoreExport",
     "SharedStoreHandle",
+    "SharedStoreLease",
     "attach_shared_store",
 ]
 
@@ -103,6 +106,7 @@ class CompactStore:
             for name in schema.edge_attribute_names
         }
         self._num_edges = num_edges
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Sizes (the Section IV-A storage claim)
@@ -167,6 +171,35 @@ class CompactStore:
         )
 
     # ------------------------------------------------------------------
+    # Identity (repro.engine result-cache keying)
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the store: schema + every array a miner reads.
+
+        Two stores with equal fingerprints answer every mining query
+        identically, so the engine layer keys its result cache (and
+        tags its results) with this.  Computed once and memoized — the
+        store's arrays are immutable after construction.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            for attr in self.network.schema:
+                digest.update(
+                    repr((attr.name, attr.values, attr.homophily)).encode()
+                )
+            digest.update(
+                f"|V={self.network.num_nodes}|E={self._num_edges}|".encode()
+            )
+            for key, arr in sorted(self._shared_arrays().items()):
+                arr = np.ascontiguousarray(arr)
+                digest.update(key.encode())
+                digest.update(str(arr.dtype).encode())
+                digest.update(repr(arr.shape).encode())
+                digest.update(arr.data)
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    # ------------------------------------------------------------------
     # Shared-memory export (repro.parallel)
     # ------------------------------------------------------------------
     def _shared_arrays(self) -> dict[str, np.ndarray]:
@@ -209,9 +242,16 @@ class CompactStore:
             specs.append(SharedArraySpec(key, str(arr.dtype), arr.shape, offset))
             offset += arr.nbytes
         shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
-        for spec, arr in zip(specs, arrays.values()):
-            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=spec.offset)
-            view[...] = arr
+        try:
+            for spec, arr in zip(specs, arrays.values()):
+                view = np.ndarray(
+                    arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=spec.offset
+                )
+                view[...] = arr
+        except BaseException:  # never orphan a half-written segment
+            shm.close()
+            shm.unlink()
+            raise
         handle = SharedStoreHandle(
             shm_name=shm.name,
             specs=tuple(specs),
@@ -220,6 +260,17 @@ class CompactStore:
             num_edges=self._num_edges,
         )
         return SharedStoreExport(shm=shm, handle=handle)
+
+    def lease_shared(self) -> "SharedStoreLease":
+        """Export into shared memory under a guaranteed-unlink lease.
+
+        Prefer this over :meth:`export_shared` anywhere an exception can
+        unwind past the export (worker crashes, pool setup failures):
+        the lease unlinks the segment on ``close()`` / ``__exit__`` *and*
+        from a garbage-collection/interpreter-exit finalizer, so no
+        failure mode short of SIGKILL orphans a ``/dev/shm`` segment.
+        """
+        return SharedStoreLease(self.export_shared())
 
     @classmethod
     def _from_shared(
@@ -246,6 +297,7 @@ class CompactStore:
             name: arrays[f"store.e_attrs.{name}"] for name in schema.edge_attribute_names
         }
         self._num_edges = network.num_edges
+        self._fingerprint = None
         return self
 
 
@@ -285,11 +337,65 @@ class SharedStoreExport:
 
     def release(self) -> None:
         """Close and unlink the segment (idempotent)."""
-        try:
-            self.shm.close()
-            self.shm.unlink()
-        except FileNotFoundError:  # already unlinked
-            pass
+        _release_segment(self.shm)
+
+
+def _release_segment(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # already unlinked
+        pass
+
+
+class SharedStoreLease:
+    """Owning lease on a shared store export with guaranteed unlink.
+
+    A bare :class:`SharedStoreExport` relies on the happy path calling
+    ``release()``; if an exception unwinds past the owner (a worker
+    raises mid-query, pool setup fails, a test errors out), the segment
+    is orphaned in ``/dev/shm`` until reboot.  The lease closes the same
+    gap three ways: ``close()`` is idempotent, ``with lease:`` releases
+    on any exit, and a :func:`weakref.finalize` finalizer fires when the
+    lease is garbage-collected or the interpreter exits — so cleanup
+    never depends on reaching a particular line.
+
+    The picklable :attr:`handle` is what travels to worker processes;
+    workers attach by name and are unaffected by the parent unlinking
+    the name after they have mapped it (POSIX semantics).
+    """
+
+    def __init__(self, export: SharedStoreExport) -> None:
+        self._export = export
+        self._finalizer = weakref.finalize(self, _release_segment, export.shm)
+
+    @property
+    def handle(self) -> SharedStoreHandle:
+        """The picklable descriptor to ship to workers."""
+        return self._export.handle
+
+    @property
+    def name(self) -> str:
+        """The shared-memory segment's name."""
+        return self._export.shm.name
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        self._finalizer()
+
+    def __enter__(self) -> "SharedStoreLease":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"SharedStoreLease({self.name!r}, {state})"
 
 
 def attach_shared_store(

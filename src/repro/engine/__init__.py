@@ -1,0 +1,17 @@
+"""repro.engine — the long-lived mining session layer.
+
+One :class:`MiningEngine` per network: the compact store is built and
+fingerprinted once, the shared-memory export and worker fleet are set up
+once (lazily), and an arbitrary stream of :class:`MineRequest` queries —
+``engine.mine(request)`` or batched ``engine.sweep([...])`` — is served
+over them with an LRU result cache.  The one-shot entry points
+(:func:`repro.core.miner.mine_top_k`,
+:class:`~repro.parallel.ParallelGRMiner`) remain for single queries;
+anything that asks twice should hold an engine.
+"""
+
+from .cache import ResultCache
+from .engine import EngineStats, MiningEngine
+from .request import MineRequest
+
+__all__ = ["EngineStats", "MineRequest", "MiningEngine", "ResultCache"]

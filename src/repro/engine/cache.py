@@ -1,0 +1,59 @@
+"""LRU result cache for the mining engine.
+
+Keys are ``(store fingerprint, request canonical key)`` tuples — see
+:meth:`CompactStore.fingerprint` and :meth:`MineRequest.canonical_key` —
+so a hit is only possible when both the data and the (resolved) query
+parameters are identical, and an engine rebuilt over modified data can
+never serve stale results.  Values are whole
+:class:`~repro.core.results.MiningResult` objects, returned by
+reference: treat cached results as immutable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A plain LRU mapping.  Hit/miss accounting lives in
+    :class:`~repro.engine.engine.EngineStats`, which also sees the
+    in-batch duplicates this cache never receives.
+
+    ``maxsize=0`` disables caching entirely (every ``get`` misses and
+    ``put`` is a no-op) — the engine exposes that as ``cache_size=0``.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 0:
+            raise ValueError("maxsize must be non-negative")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def get(self, key: Hashable):
+        """The cached value, refreshed to most-recent, or ``None``."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            return None
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        if self.maxsize == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries

@@ -1,0 +1,446 @@
+"""MiningEngine — a long-lived session serving many queries over one store.
+
+Motivation: real use of GR mining — including the paper's own Fig. 4
+experiment grids — runs *many* ``(k, minSupp, minNhp, rank_by)`` queries
+against the *same* network.  The one-shot path
+(:func:`repro.core.miner.mine_top_k` /
+:class:`~repro.parallel.ParallelGRMiner`) pays the full setup on every
+call: build the compact store, export it to shared memory, fork a worker
+pool, re-gather the per-edge columns, re-partition the first level.  The
+engine hoists all of that to construction time and amortizes it over the
+query stream:
+
+* the :class:`~repro.data.store.CompactStore` is built **once** and
+  fingerprinted (the cache identity of the data);
+* the shared-memory export happens **once**, under a guaranteed-unlink
+  :class:`~repro.data.store.SharedStoreLease`;
+* the worker fleet is spawned **once** (lazily, on the first pooled
+  query) and re-armed per query via self-describing shard tasks;
+* one serial miner skeleton handles planning and serial-mode queries,
+  re-targeted per query with :meth:`GRMiner.rearm`;
+* results are memoized in an LRU keyed by ``(store fingerprint,
+  canonical request)``.
+
+Semantics are inherited, not reimplemented: every query runs through the
+exact same :func:`run_shard` / :func:`merge_shard_results` machinery as
+:class:`~repro.parallel.ParallelGRMiner` (sharded mode) or the plain
+:class:`~repro.core.miner.GRMiner` (serial mode), so the equivalence
+harness's guarantees — Definition 5 exactness and worker-count
+determinism — carry over unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..core.miner import GRMiner, MinerConfig
+from ..core.results import MiningResult
+from ..data.network import SocialNetwork
+from ..data.store import CompactStore, SharedStoreLease
+from ..parallel.miner import (
+    check_worker_count,
+    execute_shards_inline,
+    merge_shard_results,
+    warn_if_overprovisioned,
+)
+from ..parallel.planner import plan_shards
+from ..parallel.pool import BusPool, PersistentWorkerPool, default_start_method
+from ..parallel.worker import ShardTask
+from .cache import ResultCache
+from .request import MineRequest
+
+__all__ = ["EngineStats", "MiningEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Lifecycle counters proving (and measuring) the amortization."""
+
+    #: Shared-memory store exports performed (≤ 1 per engine).
+    exports: int = 0
+    #: Worker pools spawned (≤ 1 per engine).
+    pool_spawns: int = 0
+    #: Queries answered, including cache hits.
+    queries: int = 0
+    #: Queries served straight from the result cache.
+    cache_hits: int = 0
+    #: Queries actually mined.
+    cache_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "exports": self.exports,
+            "pool_spawns": self.pool_spawns,
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+class _PooledJob:
+    """Bookkeeping for one in-flight pooled query within a sweep."""
+
+    __slots__ = ("index", "key", "config", "plan", "tasks", "bus", "pending", "started")
+
+    def __init__(self, index, key, config, plan, tasks, bus):
+        self.index = index
+        self.key = key
+        self.config = config
+        self.plan = plan
+        self.tasks = tasks
+        self.bus = bus
+        self.pending = None
+        self.started = 0.0
+
+
+class MiningEngine:
+    """Serve a stream of top-k GR mining queries over one shared store.
+
+    Parameters
+    ----------
+    network:
+        The attributed network all queries run against.
+    workers:
+        Size of the (lazily spawned) worker fleet for sharded queries;
+        ``None`` uses ``os.cpu_count()``.  Individual requests may ask
+        for fewer workers; requests asking for more are clamped with a
+        warning.
+    start_method, threshold_refresh:
+        As on :class:`~repro.parallel.ParallelGRMiner`.
+    cache_size:
+        LRU capacity of the result cache (``0`` disables caching).
+    store:
+        A prebuilt :class:`~repro.data.store.CompactStore`; defaults to
+        building one from the network.
+
+    Examples
+    --------
+    >>> from repro.datasets.toy import toy_dating_network
+    >>> from repro.engine import MineRequest, MiningEngine
+    >>> with MiningEngine(toy_dating_network()) as engine:
+    ...     results = engine.sweep([
+    ...         MineRequest(k=5, min_support=2, min_nhp=0.5),
+    ...         MineRequest(k=3, min_support=2, min_nhp=0.6),
+    ...     ])
+    >>> [len(r) <= 5 for r in results]
+    [True, True]
+    """
+
+    def __init__(
+        self,
+        network: SocialNetwork,
+        workers: int | None = None,
+        start_method: str | None = None,
+        threshold_refresh: int = 64,
+        cache_size: int = 128,
+        store: CompactStore | None = None,
+    ) -> None:
+        self.network = network
+        self.store = store if store is not None else CompactStore(network)
+        self.fingerprint = self.store.fingerprint()
+        self.workers = check_worker_count(workers)
+        self.start_method = start_method or default_start_method()
+        self.threshold_refresh = threshold_refresh
+        self.stats = EngineStats()
+        self._cache = ResultCache(cache_size)
+        self._skeleton: GRMiner | None = None
+        self._lease: SharedStoreLease | None = None
+        self._pool: PersistentWorkerPool | None = None
+        self._buses: BusPool | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def mine(self, request: MineRequest | None = None, **kwargs) -> MiningResult:
+        """Answer one query; keyword form builds the request inline.
+
+        ``engine.mine(k=10, min_nhp=0.5, workers=4)`` is shorthand for
+        ``engine.mine(MineRequest.create(k=10, min_nhp=0.5, workers=4))``.
+        """
+        if request is None:
+            request = MineRequest.create(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a MineRequest or keywords, not both")
+        return self.sweep([request])[0]
+
+    def sweep(self, requests: Iterable[MineRequest | Mapping]) -> list[MiningResult]:
+        """Answer a batch of queries, interleaving their shards.
+
+        All pooled queries' shard tasks are dispatched round-robin over
+        the one shared fleet before any gather, so a sweep's wall time
+        approaches the makespan of the combined task bag instead of the
+        sum of per-query makespans.  Serial-mode queries run on the
+        coordinator while the fleet churns.  Results come back in
+        request order; duplicates within a batch are mined once.
+        """
+        self._ensure_open()
+        requests = [
+            req if isinstance(req, MineRequest) else MineRequest.create(**req)
+            for req in requests
+        ]
+        results: list[MiningResult | None] = [None] * len(requests)
+        serial_misses: list[tuple[int, MineRequest, tuple]] = []
+        pooled_misses: list[tuple[int, MineRequest, tuple]] = []
+        inflight: dict[tuple, int] = {}  # canonical key -> first index mining it
+        for i, request in enumerate(requests):
+            self.stats.queries += 1
+            key = (self.fingerprint, request.canonical_key(
+                self.network.schema, self.network.num_edges
+            ))
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                results[i] = cached
+                continue
+            if key in inflight:  # duplicate within this batch
+                self.stats.cache_hits += 1
+                results[i] = inflight[key]
+                continue
+            self.stats.cache_misses += 1
+            inflight[key] = i
+            if request.workers is None:
+                serial_misses.append((i, request, key))
+            else:
+                pooled_misses.append((i, request, key))
+
+        jobs, inline_jobs = self._dispatch_pooled(pooled_misses)
+
+        # Coordinator-side work while the fleet churns on pooled shards.
+        # One failing query must not stop the others: every pooled job
+        # is always gathered (each job's bus may only be recycled after
+        # all of its shards settled, or a straggler from the dead query
+        # would publish stale floors into whichever query acquires the
+        # segment next), completed work is cached, and the first error
+        # is re-raised at the end.
+        errors: list[BaseException] = []
+        for i, request, key in serial_misses:
+            try:
+                result = self._mine_serial(request)
+                self._cache.put(key, result)
+                results[i] = result
+            except BaseException as exc:
+                errors.append(exc)
+        for job in inline_jobs:
+            try:
+                results[job.index] = self._finish_inline(job)
+            except BaseException as exc:
+                errors.append(exc)
+        for job in jobs:
+            try:
+                results[job.index] = self._gather(job)
+            except BaseException as exc:
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+
+        # Resolve in-batch duplicates to their mined sibling's result.
+        return [
+            r if isinstance(r, MiningResult) else results[r] for r in results
+        ]
+
+    # ------------------------------------------------------------------
+    # Pooled execution
+    # ------------------------------------------------------------------
+    def _dispatch_pooled(self, misses):
+        """Plan every pooled miss and interleave task submission."""
+        jobs: list[_PooledJob] = []
+        inline_jobs: list[_PooledJob] = []
+        try:
+            self._plan_pooled(misses, jobs, inline_jobs)
+        except BaseException:
+            # Nothing has been submitted yet, so buses acquired for the
+            # jobs planned so far are clean and safe to recycle.
+            for job in jobs + inline_jobs:
+                if job.bus is not None:
+                    self._bus_pool().release(job.bus)
+                    job.bus = None
+            raise
+
+        if jobs:
+            try:
+                pool = self._ensure_pool()
+                for job in jobs:
+                    job.started = time.perf_counter()
+                    job.pending = []
+                # Round-robin over jobs so every query progresses at once.
+                cursors = [iter(job.tasks) for job in jobs]
+                live = list(range(len(jobs)))
+                while live:
+                    still = []
+                    for j in live:
+                        task = next(cursors[j], None)
+                        if task is None:
+                            continue
+                        jobs[j].pending.append(pool.submit(task))
+                        still.append(j)
+                    live = still
+            except BaseException:
+                # A bus is only recyclable when none of its query's tasks
+                # reached the pool; buses with in-flight shards stay
+                # checked out (reclaimed at close()).
+                for job in jobs:
+                    if job.bus is not None and not job.pending:
+                        self._bus_pool().release(job.bus)
+                        job.bus = None
+                raise
+        return jobs, inline_jobs
+
+    def _plan_pooled(self, misses, jobs, inline_jobs):
+        for i, request, key in misses:
+            config = request.to_config()
+            plan = self._armed_skeleton(config).plan_branches()
+            workers = min(request.workers, self.workers)
+            if request.workers > self.workers:
+                warnings.warn(
+                    f"request asked for workers={request.workers} but the "
+                    f"engine's fleet has {self.workers}; clamping",
+                    stacklevel=3,
+                )
+            warn_if_overprovisioned(workers, len(plan.branches))
+            shards = plan_shards(plan.branches, workers)
+            pooled = len(shards) > 1 and workers > 1
+            bus = None
+            if pooled and config.push_topk and config.k is not None:
+                bus = self._bus_pool().acquire()
+            tasks = [
+                ShardTask(
+                    shard_id=j,
+                    branches=branches,
+                    config=config,
+                    bus_handle=bus.handle() if bus is not None else None,
+                )
+                for j, branches in enumerate(shards)
+            ]
+            job = _PooledJob(i, key, config, plan, tasks, bus)
+            (jobs if pooled else inline_jobs).append(job)
+
+    def _finish_inline(self, job: _PooledJob) -> MiningResult:
+        """Run a single-shard / workers=1 'pooled' query in-process."""
+        started = time.perf_counter()
+        shard_results = execute_shards_inline(
+            self._armed_skeleton(job.config), job.tasks
+        )
+        return self._complete(job, shard_results, started)
+
+    def _gather(self, job: _PooledJob) -> MiningResult:
+        shard_results = []
+        errors: list[BaseException] = []
+        for pending in job.pending:
+            try:
+                shard_results.append(pending.get())
+            except BaseException as exc:
+                errors.append(exc)
+        # Every shard has now settled — no straggler can publish to the
+        # bus anymore — so recycling it for the next query is safe.
+        if job.bus is not None:
+            self._bus_pool().release(job.bus)
+            job.bus = None
+        if errors:
+            raise errors[0]
+        return self._complete(job, shard_results, job.started)
+
+    def _complete(self, job: _PooledJob, shard_results, started) -> MiningResult:
+        entries, stats = merge_shard_results(
+            shard_results, job.config, job.plan.pruned_by_support
+        )
+        stats.runtime_seconds = time.perf_counter() - started
+        params = self._armed_skeleton(job.config)._params()
+        params.update(
+            workers=len(job.tasks),
+            shards=len(job.tasks),
+            start_method=self.start_method,
+            engine=self.fingerprint,
+        )
+        result = MiningResult(grs=entries, stats=stats, params=params)
+        self._cache.put(job.key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Serial execution
+    # ------------------------------------------------------------------
+    def _mine_serial(self, request: MineRequest) -> MiningResult:
+        result = self._armed_skeleton(request.to_config()).mine()
+        result.params["engine"] = self.fingerprint
+        return result
+
+    def _armed_skeleton(self, config: MinerConfig) -> GRMiner:
+        """The engine's one serial miner, re-targeted to ``config``."""
+        if self._skeleton is None:
+            self._skeleton = GRMiner(self.network, store=self.store, config=config)
+        elif self._skeleton.config != config:
+            self._skeleton.rearm(config)
+        return self._skeleton
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> PersistentWorkerPool:
+        if self._pool is None:
+            # The lease is kept if the spawn below fails: the export
+            # succeeded and is reusable, so a retry must not pay (or
+            # count) a second one.
+            if self._lease is None:
+                self._lease = self.store.lease_shared()
+                self.stats.exports += 1
+            self._pool = PersistentWorkerPool(
+                self._lease.handle,
+                processes=self.workers,
+                start_method=self.start_method,
+                threshold_refresh=self.threshold_refresh,
+            )
+            self.stats.pool_spawns += 1
+        return self._pool
+
+    def _bus_pool(self) -> BusPool:
+        if self._buses is None:
+            self._buses = BusPool(num_slots=self.workers)
+        return self._buses
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("MiningEngine is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the pool, the buses and the store lease (idempotent).
+
+        Safe to call after a worker crashed mid-query: the pool is torn
+        down hard, and the lease's guaranteed unlink keeps ``/dev/shm``
+        clean either way.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool = None
+        if self._buses is not None:
+            self._buses.close()
+            self._buses = None
+        if self._lease is not None:
+            self._lease.close()
+            self._lease = None
+        self._cache.clear()
+
+    def __enter__(self) -> "MiningEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "pooled" if self._pool is not None else "idle"
+        )
+        return (
+            f"MiningEngine(fingerprint={self.fingerprint[:12]}, "
+            f"workers={self.workers}, {state}, "
+            f"queries={self.stats.queries}, cache_hits={self.stats.cache_hits})"
+        )

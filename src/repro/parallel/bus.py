@@ -65,6 +65,17 @@ class ThresholdBus:
         """The highest published local k-th best (−inf when none yet)."""
         return float(self._scores.max())
 
+    def reset(self) -> None:
+        """Clear every slot back to −inf, readying the bus for reuse.
+
+        A long-lived engine serves consecutive queries over the same
+        pool; a k-th-best score published for query N is meaningless for
+        query N+1 (different thresholds, different ranking) and would
+        wrongly tighten its dynamic minNhp — prune *correct* results.
+        Only call between queries, never while one is in flight.
+        """
+        self._scores[:] = -np.inf
+
     def release(self) -> None:
         """Close (and, for the creating side, unlink) the segment."""
         try:

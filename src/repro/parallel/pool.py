@@ -1,0 +1,174 @@
+"""Worker-fleet lifecycle: a store-armed process pool that outlives queries.
+
+PR 1's flow was build-use-discard: every ``ParallelGRMiner.mine()``
+exported the store, spawned a pool, ran one query and tore everything
+down.  This module separates the *expensive, per-store* setup (export +
+spawn) from the *cheap, per-query* work (sharding + task dispatch) so a
+long-lived :class:`~repro.engine.MiningEngine` pays the former once:
+
+* :class:`PersistentWorkerPool` — a ``multiprocessing`` pool whose
+  initializer attaches a shared store export and nothing else.  Tasks
+  are self-describing (:class:`~repro.parallel.worker.ShardTask` carries
+  the query config and bus address), so the same fleet serves any number
+  of queries, interleaved or sequential.  Context-manager semantics:
+  graceful ``close()`` + join on clean exit, ``terminate()`` when an
+  exception unwinds.
+* :class:`BusPool` — a free list of :class:`ThresholdBus` segments,
+  ``reset()`` on every checkout so a k-th-best score published during
+  query N can never tighten query N+1's dynamic minNhp.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Sequence
+
+from ..data.store import SharedStoreHandle
+from .bus import ThresholdBus
+from .worker import ShardResult, ShardTask, initialize_worker, run_shard
+
+__all__ = ["BusPool", "PersistentWorkerPool", "default_start_method"]
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheapest on Linux), else ``spawn``."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class PersistentWorkerPool:
+    """A process pool attached once to a shared store, serving many queries.
+
+    Parameters
+    ----------
+    store_handle:
+        Picklable descriptor of the exported store
+        (:attr:`SharedStoreLease.handle`).  The caller owns the segment
+        and must keep its lease open for the pool's lifetime.
+    processes:
+        Fleet size.  A query may use fewer workers (its planner simply
+        emits fewer shards) but never more.
+    start_method:
+        ``multiprocessing`` start method; defaults to
+        :func:`default_start_method`.
+    threshold_refresh:
+        Bus re-read cadence forwarded to every worker (see
+        :class:`~repro.parallel.bus.SharedThresholdCollector`).
+    """
+
+    def __init__(
+        self,
+        store_handle: SharedStoreHandle,
+        processes: int,
+        start_method: str | None = None,
+        threshold_refresh: int = 64,
+    ) -> None:
+        if processes < 1:
+            raise ValueError("processes must be a positive process count")
+        self.processes = processes
+        self.start_method = start_method or default_start_method()
+        self.threshold_refresh = threshold_refresh
+        ctx = mp.get_context(self.start_method)
+        self._pool = ctx.Pool(
+            processes=processes,
+            initializer=initialize_worker,
+            initargs=(store_handle, threshold_refresh),
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def submit(self, task: ShardTask):
+        """Dispatch one shard task; returns its ``AsyncResult``.
+
+        Submission order is execution order — the engine interleaves
+        tasks from concurrent queries by submitting them round-robin.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        return self._pool.apply_async(run_shard, (task,))
+
+    def run_query(self, tasks: Sequence[ShardTask]) -> list[ShardResult]:
+        """Dispatch one query's tasks and gather its shard results."""
+        pending = [self.submit(task) for task in tasks]
+        return [handle.get() for handle in pending]
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Graceful shutdown: finish outstanding tasks, then join."""
+        if not self._closed:
+            self._closed = True
+            self._pool.close()
+            self._pool.join()
+
+    def terminate(self) -> None:
+        """Hard shutdown: kill workers without draining the task queue."""
+        if not self._closed:
+            self._closed = True
+            self._pool.terminate()
+            self._pool.join()
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"PersistentWorkerPool(processes={self.processes}, "
+            f"start_method={self.start_method!r}, {state})"
+        )
+
+
+class BusPool:
+    """Free list of threshold buses, reset between checkouts.
+
+    One bus per *in-flight* query: sequential queries reuse a single
+    segment, a batched sweep checks out as many as it overlaps.  Workers
+    cache their attachments by segment name, so reuse also keeps the
+    per-worker attachment table bounded.
+    """
+
+    def __init__(self, num_slots: int) -> None:
+        self.num_slots = num_slots
+        self._free: list[ThresholdBus] = []
+        self._all: list[ThresholdBus] = []
+        self._closed = False
+
+    def acquire(self) -> ThresholdBus:
+        """Check out a clean bus (all slots at −inf)."""
+        if self._closed:
+            raise RuntimeError("bus pool is closed")
+        if self._free:
+            bus = self._free.pop()
+        else:
+            bus = ThresholdBus(num_slots=self.num_slots)
+            self._all.append(bus)
+        bus.reset()
+        return bus
+
+    def release(self, bus: ThresholdBus) -> None:
+        """Return a bus once its query has been fully gathered."""
+        if not self._closed:
+            self._free.append(bus)
+
+    def close(self) -> None:
+        """Unlink every segment ever created (idempotent)."""
+        self._closed = True
+        for bus in self._all:
+            bus.release()
+        self._all.clear()
+        self._free.clear()
+
+    def __enter__(self) -> "BusPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

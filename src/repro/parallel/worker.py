@@ -1,12 +1,18 @@
 """Per-process execution of enumeration-tree shards.
 
 A worker process is initialized once (:func:`initialize_worker`): it
-attaches the shared-memory store export and the threshold bus, and
-lazily builds one :class:`~repro.core.miner.GRMiner` over the attached
-read-only data.  Each :class:`ShardTask` then replays the serial miner's
-recursion over its slice of first-level branches via the branch-entry
-API, and ships back a :class:`ShardResult` of mined entries plus effort
-counters.
+attaches the shared-memory store export and lazily builds one
+:class:`~repro.core.miner.GRMiner` over the attached read-only data.
+Each :class:`ShardTask` is *self-describing* — it carries the query's
+:class:`~repro.core.miner.MinerConfig` and (optionally) the address of
+the threshold bus to trade k-th-best scores over — so one long-lived
+worker serves an arbitrary stream of differently parameterized queries:
+the miner skeleton is re-armed (:meth:`GRMiner.rearm`) whenever a task's
+config differs from the previous one, while the attached store, the
+per-edge column gathers and the first-level partitions persist for the
+process lifetime.  Each task replays the serial miner's recursion over
+its slice of first-level branches via the branch-entry API, and ships
+back a :class:`ShardResult` of mined entries plus effort counters.
 
 Cross-shard generality
 ----------------------
@@ -32,9 +38,8 @@ GRMiner(k)'s dynamic threshold can drop below k results (DESIGN.md
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
 
-from ..core.miner import BranchSpec, GRMiner
+from ..core.miner import BranchSpec, GRMiner, MinerConfig
 from ..core.results import MinedGR, MiningStats
 from ..core.enumeration import static_tau
 from ..core.topk import GeneralityIndex, TopKCollector
@@ -53,10 +58,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One worker assignment: a slot on the bus plus its branches."""
+    """One worker assignment: a query config plus a slice of branches.
+
+    ``shard_id`` doubles as the worker's slot on the task's threshold
+    bus.  ``bus_handle`` addresses the bus segment for *this query* —
+    concurrent queries interleaved over one pool each bring their own
+    bus, which is how query N's dynamic thresholds stay out of query
+    N+1's pruning.
+    """
 
     shard_id: int
     branches: tuple[BranchSpec, ...]
+    config: MinerConfig
+    bus_handle: BusHandle | None = None
 
 
 @dataclass
@@ -74,11 +88,13 @@ class WorkerState:
 
     network: object
     store: object
-    miner_kwargs: Mapping
-    bus: ThresholdBus | None
     refresh_every: int
     shm: object = None  # keeps the attached segment alive
     miner: GRMiner | None = field(default=None)
+    #: Attached threshold buses keyed by segment name.  An engine reuses
+    #: a small free-list of buses across its queries, so this stays
+    #: bounded by the engine's concurrent-query high-water mark.
+    buses: dict[str, ThresholdBus] = field(default_factory=dict)
 
 
 #: Process-global state, populated by the pool initializer.
@@ -88,8 +104,6 @@ _STATE: list[WorkerState] = []
 def make_worker_state(
     network,
     store,
-    miner_kwargs: Mapping,
-    bus: ThresholdBus | None = None,
     refresh_every: int = 64,
     shm=None,
 ) -> WorkerState:
@@ -97,8 +111,6 @@ def make_worker_state(
     return WorkerState(
         network=network,
         store=store,
-        miner_kwargs=dict(miner_kwargs),
-        bus=bus,
         refresh_every=refresh_every,
         shm=shm,
     )
@@ -106,17 +118,17 @@ def make_worker_state(
 
 def initialize_worker(
     store_handle: SharedStoreHandle,
-    bus_handle: BusHandle | None,
-    miner_kwargs: Mapping,
     refresh_every: int,
 ) -> None:
-    """Pool initializer: attach shared data once per worker process."""
+    """Pool initializer: attach shared data once per worker process.
+
+    Deliberately query-agnostic — no miner parameters, no bus — so the
+    pool outlives any individual query (the engine spawns it once and
+    feeds it many).
+    """
     network, store, shm = attach_shared_store(store_handle)
-    bus = ThresholdBus(handle=bus_handle) if bus_handle is not None else None
     _STATE.clear()
-    _STATE.append(
-        make_worker_state(network, store, miner_kwargs, bus, refresh_every, shm=shm)
-    )
+    _STATE.append(make_worker_state(network, store, refresh_every, shm=shm))
 
 
 class CrossShardGeneralityVerifier:
@@ -129,7 +141,9 @@ class CrossShardGeneralityVerifier:
     admitted), supp ≥ minSupp, score ≥ the user threshold.  Verdicts are
     memoized per (LHS, edge, RHS) selection — generalization sets of
     neighbouring candidates overlap heavily, so the cache hit rate is
-    high within a shard.
+    high within a shard.  The memo is valid only for the config the
+    verifier was built with; :func:`run_shard` installs a fresh verifier
+    per task.
     """
 
     def __init__(self, miner: GRMiner) -> None:
@@ -166,12 +180,23 @@ class CrossShardGeneralityVerifier:
         return cached
 
 
-def _shard_miner(state: WorkerState) -> GRMiner:
+def _shard_miner(state: WorkerState, config: MinerConfig) -> GRMiner:
+    """The worker's miner skeleton, re-armed when the query changes."""
     if state.miner is None:
-        state.miner = GRMiner(
-            state.network, store=state.store, **state.miner_kwargs
-        )
+        state.miner = GRMiner(state.network, store=state.store, config=config)
+    elif state.miner.config != config:
+        state.miner.rearm(config)
     return state.miner
+
+
+def _task_bus(state: WorkerState, handle: BusHandle | None) -> ThresholdBus | None:
+    if handle is None:
+        return None
+    name = handle[0]
+    bus = state.buses.get(name)
+    if bus is None:
+        bus = state.buses[name] = ThresholdBus(handle=handle)
+    return bus
 
 
 def run_shard(task: ShardTask, state: WorkerState | None = None) -> ShardResult:
@@ -180,12 +205,13 @@ def run_shard(task: ShardTask, state: WorkerState | None = None) -> ShardResult:
         if not _STATE:
             raise RuntimeError("worker not initialized — call initialize_worker first")
         state = _STATE[0]
-    miner = _shard_miner(state)
-    if state.bus is not None and miner.push_topk and miner.k is not None:
+    miner = _shard_miner(state, task.config)
+    bus = _task_bus(state, task.bus_handle)
+    if bus is not None and miner.push_topk and miner.k is not None:
         collector: TopKCollector = SharedThresholdCollector(
             k=miner.k,
             min_score=miner.min_score,
-            bus=state.bus,
+            bus=bus,
             slot=task.shard_id,
             refresh_every=state.refresh_every,
         )

@@ -174,6 +174,71 @@ class TestMine:
         assert serial_table == parallel_table[: len(serial_table)]
         assert len(parallel_table) >= len(serial_table)
 
+    def test_sweep_grid_through_engine(self, toy_dir, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "sweep.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    str(toy_dir),
+                    "-k",
+                    "3",
+                    "5",
+                    "--min-nhp",
+                    "0.4",
+                    "0.6",
+                    "--min-support",
+                    "2",
+                    "--json",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Sweep of 4 queries" in out
+        assert "0 store export(s)" in out  # serial mode: no export needed
+        payload = json.loads(out_path.read_text())
+        assert len(payload["rows"]) == 4
+        assert payload["engine"]["queries"] == 4
+        # Every grid point must equal a fresh serial run of the same params.
+        from repro.core.miner import GRMiner
+        from repro.io.loaders import load_network
+
+        network = load_network(str(toy_dir))
+        for row in payload["rows"]:
+            fresh = GRMiner(
+                network,
+                k=row["k"],
+                min_support=row["minSupp"],
+                min_score=row["minNhp"],
+                rank_by=row["rank_by"],
+            ).mine()
+            assert row["grs"] == len(fresh)
+
+    def test_sweep_workers_flag(self, toy_dir, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    str(toy_dir),
+                    "-k",
+                    "3",
+                    "--min-support",
+                    "2",
+                    "--min-nhp",
+                    "0.5",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Sweep of 1 queries" in out
+
     def test_rank_by_confidence(self, toy_dir, capsys):
         assert main(["mine", str(toy_dir), "--rank-by", "confidence"]) == 0
         assert "confidence" in capsys.readouterr().out

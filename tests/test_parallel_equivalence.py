@@ -235,6 +235,66 @@ class TestWorkerCountDeterminism:
         assert result.stats.grs_examined > 0
 
 
+class TestEngineEquivalence:
+    """Acceptance: a MiningEngine sweep answers exactly like fresh runs
+    while performing one store export and one pool spawn in total."""
+
+    _GRID = [
+        dict(k=10, min_support=2, min_score=0.3),
+        dict(k=5, min_support=1, min_score=0.5, rank_by="confidence"),
+        dict(k=15, min_support=2, min_score=0.0, push_topk=False),
+        dict(k=25, min_support=1, min_score=0.0),
+        dict(k=3, min_support=3, min_score=0.4, dynamic_rhs_ordering=False),
+    ]
+
+    def test_sweep_matches_fresh_miners_with_one_setup(self):
+        from repro.engine import MineRequest, MiningEngine
+
+        network = _network(7)
+        requests = [
+            MineRequest.create(workers=2, **params) for params in self._GRID
+        ]
+        with MiningEngine(network, workers=2) as engine:
+            results = engine.sweep(requests)
+            assert engine.stats.exports == 1
+            assert engine.stats.pool_spawns == 1
+        for params, result in zip(self._GRID, results):
+            fresh_parallel = ParallelGRMiner(network, workers=2, **params).mine()
+            assert _signature(result) == _signature(fresh_parallel)
+            # ... and therefore the exact serial Definition 5 reference.
+            exact = dict(params)
+            exact["push_topk"] = False
+            fresh_serial = GRMiner(network, **exact).mine()
+            k = params["k"]
+            assert _signature(result) == _signature(fresh_serial)[:k]
+
+    @pytest.mark.slow
+    def test_engine_serial_mode_matches_fresh_serial_grminer(self):
+        from repro.engine import MineRequest, MiningEngine
+
+        network = _network(8)
+        requests = [MineRequest.create(**params) for params in self._GRID]
+        with MiningEngine(network) as engine:
+            results = engine.sweep(requests)
+            assert engine.stats.exports == 0  # serial mode never exports
+        for params, result in zip(self._GRID, results):
+            assert _signature(result) == _signature(GRMiner(network, **params).mine())
+
+    @pytest.mark.slow
+    def test_engine_answer_independent_of_fleet_size(self):
+        from repro.engine import MineRequest, MiningEngine
+
+        network = _network(3)
+        request = MineRequest(k=10, min_support=2, min_nhp=0.3, workers=1)
+        signatures = []
+        for fleet in (1, 2, 4):
+            with MiningEngine(network, workers=fleet) as engine:
+                signatures.append(
+                    _signature(engine.mine(request.with_workers(fleet)))
+                )
+        assert signatures[0] == signatures[1] == signatures[2]
+
+
 class TestParallelEdgeCases:
     def test_workers_must_be_positive(self):
         with pytest.raises(ValueError):

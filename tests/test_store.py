@@ -181,3 +181,89 @@ class TestSharedMemoryExport:
                 assert [str(m.gr) for m in mined] == [str(m.gr) for m in baseline]
             finally:
                 shm.close()
+
+
+def _segment_exists(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+class TestFingerprint:
+    """Content identity of a store (the engine's cache key component)."""
+
+    def test_identical_networks_share_a_fingerprint(self, small_schema):
+        from repro.data.network import SocialNetwork
+
+        nodes = {0: {"A": "a1"}, 1: {"A": "a2"}, 2: {"B": "b1"}}
+        edges = [(0, 1, {"W": "w1"}), (1, 2, {})]
+        first = CompactStore(SocialNetwork.from_records(small_schema, nodes, edges))
+        second = CompactStore(SocialNetwork.from_records(small_schema, nodes, edges))
+        assert first.fingerprint() == second.fingerprint()
+        assert first.fingerprint() is first.fingerprint()  # memoized
+
+    def test_different_data_different_fingerprint(self, small_schema):
+        from repro.data.network import SocialNetwork
+
+        nodes = {0: {"A": "a1"}, 1: {"A": "a2"}}
+        base = CompactStore(
+            SocialNetwork.from_records(small_schema, nodes, [(0, 1, {"W": "w1"})])
+        )
+        other = CompactStore(
+            SocialNetwork.from_records(small_schema, nodes, [(0, 1, {"W": "w2"})])
+        )
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_attached_store_fingerprint_matches_source(self, small_network):
+        from repro.data.store import attach_shared_store
+
+        store = CompactStore(small_network)
+        with store.export_shared() as export:
+            _, store2, shm = attach_shared_store(export.handle)
+            try:
+                assert store2.fingerprint() == store.fingerprint()
+            finally:
+                shm.close()
+
+
+class TestSharedStoreLease:
+    """Guaranteed unlink of shared exports (satellite: leak-proofing)."""
+
+    def test_close_unlinks_and_is_idempotent(self, small_network):
+        lease = CompactStore(small_network).lease_shared()
+        name = lease.name
+        assert _segment_exists(name) and not lease.closed
+        lease.close()
+        lease.close()  # second call must not raise
+        assert lease.closed and not _segment_exists(name)
+
+    def test_exception_inside_with_unlinks(self, small_network):
+        store = CompactStore(small_network)
+        with pytest.raises(RuntimeError):
+            with store.lease_shared() as lease:
+                name = lease.name
+                raise RuntimeError("boom")
+        assert not _segment_exists(name)
+
+    def test_abandoned_lease_is_collected(self, small_network):
+        import gc
+
+        lease = CompactStore(small_network).lease_shared()
+        name = lease.name
+        del lease  # nobody ever called close()
+        gc.collect()
+        assert not _segment_exists(name)
+
+    def test_handle_attachable_until_closed(self, small_network):
+        from repro.data.store import attach_shared_store
+
+        store = CompactStore(small_network)
+        with store.lease_shared() as lease:
+            network2, _, shm = attach_shared_store(lease.handle)
+            assert network2.num_edges == small_network.num_edges
+            shm.close()
