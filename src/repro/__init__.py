@@ -75,10 +75,10 @@ from .core import (
     mine_top_k,
 )
 from .data import Attribute, CompactStore, EdgeTable, Schema, SocialNetwork
-from .engine import MineRequest, MiningEngine
+from .engine import EngineHub, MineRequest, MiningEngine
 from .parallel import ParallelGRMiner
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AlternativeMetricMiner",
@@ -91,6 +91,7 @@ __all__ = [
     "ConfidenceMiner",
     "Descriptor",
     "EdgeTable",
+    "EngineHub",
     "GR",
     "GRMetrics",
     "GRMiner",

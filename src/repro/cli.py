@@ -9,6 +9,10 @@ Commands
 ``sweep``      Run a parameter grid through one long-lived MiningEngine
                (store built/exported once, one worker fleet, cached
                results) and print the per-combo summary table.
+``hub``        Register several named CSV datasets behind one EngineHub
+               (one shared fleet, per-network leases, optional
+               disk-persisted result cache) and sweep the grid against
+               each named network in turn.
 ``compare``    Print the Table II style nhp-vs-conf comparison.
 ``homophily``  Suggest homophily attributes from the data.
 """
@@ -68,26 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a parameter grid through one MiningEngine"
     )
     sweep.add_argument("directory", help="CSV dataset directory")
-    sweep.add_argument(
-        "-k", type=int, nargs="+", default=[10], help="result sizes to sweep"
-    )
-    sweep.add_argument(
-        "--min-support",
-        type=_parse_min_support,
-        nargs="+",
-        default=[1],
-        help="support thresholds to sweep (absolute >=1 or fraction <1)",
-    )
-    sweep.add_argument(
-        "--min-nhp", type=float, nargs="+", default=[0.5], help="score thresholds"
-    )
-    sweep.add_argument(
-        "--rank-by",
-        choices=("nhp", "confidence", "laplace", "gain"),
-        nargs="+",
-        default=["nhp"],
-        help="ranking metrics to sweep",
-    )
+    _add_grid_arguments(sweep)
     sweep.add_argument(
         "--homophily", nargs="*", default=None,
         help="override the schema's homophily attributes",
@@ -95,20 +80,39 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--attributes", nargs="*", default=None, help="restrict node attributes"
     )
-    sweep.add_argument(
-        "--workers",
-        type=_parse_workers,
-        default=None,
-        metavar="N",
-        help="serve every combo through a shared N-process fleet; "
-        "default is the engine's serial path",
+
+    hub = sub.add_parser(
+        "hub", help="serve several named datasets through one EngineHub"
     )
-    sweep.add_argument(
-        "--json",
+    hub.add_argument(
+        "--register",
+        action="append",
+        required=True,
+        metavar="NAME=DIR",
+        help="register the CSV dataset in DIR under NAME (repeatable)",
+    )
+    hub.add_argument(
+        "--mine",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="mine the parameter grid against this network; repeat to "
+        "interleave traffic (default: every registered network once)",
+    )
+    _add_grid_arguments(hub)
+    hub.add_argument(
+        "--disk-cache",
         default=None,
         metavar="PATH",
-        help="also write the sweep rows (grid point, result sizes, "
-        "timings, engine stats) as JSON",
+        help="persist the result cache to this sqlite file — a restarted "
+        "hub answers repeated queries without re-mining",
+    )
+    hub.add_argument(
+        "--lease-budget-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict least-recently-served store exports over this total",
     )
 
     compare = sub.add_parser("compare", help="Table II style nhp-vs-conf comparison")
@@ -119,6 +123,58 @@ def build_parser() -> argparse.ArgumentParser:
     hom.add_argument("directory")
     hom.add_argument("--threshold", type=float, default=0.1)
     return parser
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The parameter-grid options shared by ``sweep`` and ``hub``."""
+    parser.add_argument(
+        "-k", type=int, nargs="+", default=[10], help="result sizes to sweep"
+    )
+    parser.add_argument(
+        "--min-support",
+        type=_parse_min_support,
+        nargs="+",
+        default=[1],
+        help="support thresholds to sweep (absolute >=1 or fraction <1)",
+    )
+    parser.add_argument(
+        "--min-nhp", type=float, nargs="+", default=[0.5], help="score thresholds"
+    )
+    parser.add_argument(
+        "--rank-by",
+        choices=("nhp", "confidence", "laplace", "gain"),
+        nargs="+",
+        default=["nhp"],
+        help="ranking metrics to sweep",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        metavar="N",
+        help="serve every combo through a shared N-process fleet; "
+        "default is the serial path",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the per-query rows and engine/hub stats as JSON",
+    )
+
+
+def _result_cached(result, mined_ids: set[int]) -> bool:
+    """Was this sweep row served without mining?
+
+    Two mechanisms: the engine tags cache-hit *snapshots* with
+    ``params["cached"]``, while in-batch duplicates (two grid points
+    canonicalizing to one key inside a single ``sweep()`` call) are the
+    very same object as their mined sibling — caught by identity.
+    Reporting the sibling's runtime again would double-count wall time.
+    """
+    cached = id(result) in mined_ids or bool(result.params.get("cached"))
+    mined_ids.add(id(result))
+    return cached
 
 
 def _add_mining_arguments(parser: argparse.ArgumentParser) -> None:
@@ -289,11 +345,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         results = engine.sweep(requests)
         mined: set[int] = set()
         for request, result in zip(requests, results):
-            # Grid points that canonicalize to an already-mined query are
-            # served by reference; reporting the sibling's runtime again
-            # would double-count the sweep's wall time.
-            cached = id(result) in mined
-            mined.add(id(result))
+            cached = _result_cached(result, mined)
             rows.append(
                 {
                     "k": request.k,
@@ -319,6 +371,86 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         import json
 
         payload = {"rows": rows, "engine": stats}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_hub(args: argparse.Namespace) -> int:
+    import itertools
+
+    from .bench.harness import format_series
+    from .engine import EngineHub
+
+    registrations: list[tuple[str, str]] = []
+    for spec in args.register:
+        name, sep, directory = spec.partition("=")
+        if not sep or not name or not directory:
+            raise SystemExit(f"--register expects NAME=DIR, got {spec!r}")
+        registrations.append((name, directory))
+    targets = args.mine if args.mine else [name for name, _ in registrations]
+
+    grid = list(
+        itertools.product(args.k, args.min_support, args.min_nhp, args.rank_by)
+    )
+    rows = []
+    with EngineHub(
+        workers=args.workers,
+        disk_cache=args.disk_cache,
+        lease_budget_bytes=args.lease_budget_bytes,
+    ) as hub:
+        for name, directory in registrations:
+            hub.register(name, load_network(directory))
+        from .engine import MineRequest
+
+        requests = [
+            MineRequest.create(
+                k=k,
+                min_support=min_support,
+                min_nhp=min_nhp,
+                rank_by=rank_by,
+                workers=args.workers,
+            )
+            for k, min_support, min_nhp, rank_by in grid
+        ]
+        for name in targets:
+            mined: set[int] = set()
+            for request, result in zip(requests, hub.sweep(name, requests)):
+                cached = _result_cached(result, mined)
+                rows.append(
+                    {
+                        "network": name,
+                        "k": request.k,
+                        "minSupp": request.min_support,
+                        "minNhp": request.min_nhp,
+                        "rank_by": request.rank_by,
+                        "grs": len(result),
+                        "best": result[0].score if len(result) else None,
+                        "time (s)": 0.0 if cached else result.stats.runtime_seconds,
+                        "cached": cached,
+                    }
+                )
+        stats = hub.aggregate_stats()
+    print(
+        format_series(
+            rows,
+            title=(
+                f"Hub sweep: {len(targets)} network visit(s) × {len(grid)} "
+                f"grid point(s) over {len(registrations)} registered network(s)"
+            ),
+        )
+    )
+    print(
+        f"\n[hub: {stats['pool_spawns']} pool spawn(s), {stats['exports']} store "
+        f"export(s), {stats['cache_hits']} cache hit(s) across "
+        f"{stats['queries']} queries, {stats['lease_evictions']} lease "
+        f"eviction(s), {stats['resident_leases']} resident lease(s)]"
+    )
+    if args.json:
+        import json
+
+        payload = {"rows": rows, "hub": stats}
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}")
@@ -356,6 +488,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "mine": _cmd_mine,
     "sweep": _cmd_sweep,
+    "hub": _cmd_hub,
     "compare": _cmd_compare,
     "homophily": _cmd_homophily,
 }

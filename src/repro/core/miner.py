@@ -426,7 +426,17 @@ class GRMiner:
 
     @staticmethod
     def _absolute_support(min_support: int | float, num_edges: int) -> int:
-        """Translate ``minSupp`` to an absolute edge count (at least 1)."""
+        """Translate ``minSupp`` to an absolute edge count (at least 1).
+
+        The type carries the unit: an ``int`` is an absolute count, a
+        ``float`` is a fraction of ``|E|``.  Sub-threshold forms clamp to
+        the smallest meaningful count — ``0`` and fractions whose scaled
+        value rounds to zero canonicalize to ``1``, the same key their
+        integer form produces.  The one point where the two readings
+        collide, ``float 1.0`` (absolute 1? all |E| edges?), is rejected
+        rather than silently resolved: callers must say ``1`` (count) or
+        a fraction strictly below 1.
+        """
         if isinstance(min_support, bool):
             raise ValueError("min_support must be a number")
         if isinstance(min_support, int):
@@ -434,7 +444,13 @@ class GRMiner:
                 raise ValueError("min_support must be non-negative")
             return max(1, min_support)
         if not 0.0 <= min_support <= 1.0:
-            raise ValueError("fractional min_support must be in [0, 1]")
+            raise ValueError("fractional min_support must be in [0, 1)")
+        if min_support == 1.0:
+            raise ValueError(
+                "min_support=1.0 is ambiguous: pass the int 1 for an absolute "
+                "count of one edge, or a fraction strictly below 1.0 (use the "
+                "int num_edges to require every edge)"
+            )
         return max(1, int(math.ceil(min_support * num_edges - 1e-9)))
 
     # ------------------------------------------------------------------

@@ -269,6 +269,66 @@ class SocialNetwork:
         return np.bincount(self.dst, minlength=self.num_nodes)
 
     # ------------------------------------------------------------------
+    # Mutation (append-edge deltas)
+    # ------------------------------------------------------------------
+    def append_edges(
+        self,
+        src: np.ndarray | Sequence[int],
+        dst: np.ndarray | Sequence[int],
+        edge_codes: Mapping[str, np.ndarray] | None = None,
+    ) -> int:
+        """Append new edges between *existing* nodes, in place.
+
+        The delta is validated in full before any mutation, so a bad
+        batch leaves the network untouched.  Only edges can be appended
+        — the node set, node attributes and schema are immutable (new
+        nodes would invalidate every node-indexed structure).  Derived
+        structures (a :class:`~repro.data.store.CompactStore`, miner
+        caches) do not see the change until explicitly rebuilt — see
+        :meth:`CompactStore.apply_delta`.
+
+        Returns the number of edges appended.
+        """
+        new_src = np.ascontiguousarray(np.asarray(src, dtype=np.int64))
+        new_dst = np.ascontiguousarray(np.asarray(dst, dtype=np.int64))
+        if new_src.shape != new_dst.shape or new_src.ndim != 1:
+            raise NetworkError("src and dst must be 1-D arrays of equal length")
+        count = int(new_src.shape[0])
+        if count == 0:
+            return 0
+        lo = min(int(new_src.min()), int(new_dst.min()))
+        hi = max(int(new_src.max()), int(new_dst.max()))
+        if lo < 0 or hi >= self._num_nodes:
+            raise NetworkError(
+                f"appended edge endpoints out of range [0, {self._num_nodes})"
+            )
+        expected = set(self.schema.edge_attribute_names)
+        got = set(edge_codes or {})
+        if expected != got:
+            raise NetworkError(
+                f"appended edge attribute columns {sorted(got)} do not match "
+                f"schema {sorted(expected)}"
+            )
+        new_edge_codes: dict[str, np.ndarray] = {}
+        for name in expected:
+            col = np.ascontiguousarray(np.asarray(edge_codes[name], dtype=np.int64))
+            if col.shape != (count,):
+                raise NetworkError(
+                    f"appended edge attribute {name!r} has {col.shape[0]} entries "
+                    f"for {count} edges"
+                )
+            attr = self.schema.edge_attribute(name)
+            self._check_codes(name, col, attr.domain_size)
+            new_edge_codes[name] = col
+
+        self.src = np.concatenate([self.src, new_src])
+        self.dst = np.concatenate([self.dst, new_dst])
+        for name, col in new_edge_codes.items():
+            self._edge_codes[name] = np.concatenate([self._edge_codes[name], col])
+        self._num_edges += count
+        return count
+
+    # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
     def with_reciprocal_edges(self) -> "SocialNetwork":

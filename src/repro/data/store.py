@@ -65,6 +65,11 @@ class CompactStore:
 
     def __init__(self, network: SocialNetwork) -> None:
         self.network = network
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """(Re-)derive every array from the backing network's columns."""
+        network = self.network
         schema = network.schema
         src, dst = network.src, network.dst
         num_nodes, num_edges = network.num_nodes, network.num_edges
@@ -107,6 +112,20 @@ class CompactStore:
         }
         self._num_edges = num_edges
         self._fingerprint: str | None = None
+
+    def apply_delta(self) -> None:
+        """Re-derive the store after the backing network appended edges.
+
+        The node columns are untouched by an append-edge delta; this
+        rebuilds the edge-derived state — the EArray grouping, the
+        degree-dependent LArray/RArray rows and the pointer structure —
+        and resets the memoized :meth:`fingerprint` so the store's cache
+        identity changes with its content.  Callers holding store-derived
+        caches (per-edge column gathers, first-level partitions, shared
+        exports) must rebuild them: the engine layer's
+        ``refresh_store()`` does exactly that.
+        """
+        self._rebuild()
 
     # ------------------------------------------------------------------
     # Sizes (the Section IV-A storage claim)
@@ -178,8 +197,9 @@ class CompactStore:
 
         Two stores with equal fingerprints answer every mining query
         identically, so the engine layer keys its result cache (and
-        tags its results) with this.  Computed once and memoized — the
-        store's arrays are immutable after construction.
+        tags its results) with this.  Computed once and memoized; an
+        :meth:`apply_delta` rebuild resets the memo, so a mutated store
+        hashes to a new identity.
         """
         if self._fingerprint is None:
             digest = hashlib.blake2b(digest_size=16)
@@ -378,6 +398,11 @@ class SharedStoreLease:
     def name(self) -> str:
         """The shared-memory segment's name."""
         return self._export.shm.name
+
+    @property
+    def size(self) -> int:
+        """Bytes held by the segment (the hub's memory-budget unit)."""
+        return self._export.shm.size
 
     @property
     def closed(self) -> bool:

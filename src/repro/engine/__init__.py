@@ -8,10 +8,25 @@ over them with an LRU result cache.  The one-shot entry points
 (:func:`repro.core.miner.mine_top_k`,
 :class:`~repro.parallel.ParallelGRMiner`) remain for single queries;
 anything that asks twice should hold an engine.
+
+One :class:`EngineHub` per *process*: many named (and mutable —
+``hub.append_edges``) networks served through one shared worker fleet,
+per-network leases evicted LRU-style under a memory budget, and a
+result cache that can persist to disk between processes
+(:class:`DiskResultCache` / :class:`TieredResultCache`).
 """
 
-from .cache import ResultCache
+from .cache import DiskResultCache, ResultCache, TieredResultCache
 from .engine import EngineStats, MiningEngine
+from .hub import EngineHub
 from .request import MineRequest
 
-__all__ = ["EngineStats", "MineRequest", "MiningEngine", "ResultCache"]
+__all__ = [
+    "DiskResultCache",
+    "EngineHub",
+    "EngineStats",
+    "MineRequest",
+    "MiningEngine",
+    "ResultCache",
+    "TieredResultCache",
+]

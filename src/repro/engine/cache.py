@@ -1,24 +1,53 @@
-"""LRU result cache for the mining engine.
+"""Result-cache tiers for the mining engine and hub.
 
 Keys are ``(store fingerprint, request canonical key)`` tuples — see
 :meth:`CompactStore.fingerprint` and :meth:`MineRequest.canonical_key` —
 so a hit is only possible when both the data and the (resolved) query
-parameters are identical, and an engine rebuilt over modified data can
-never serve stale results.  Values are whole
-:class:`~repro.core.results.MiningResult` objects, returned by
-reference: treat cached results as immutable.
+parameters are identical, an engine serving modified data can never
+return stale results, and caches may be shared across networks (an
+:class:`~repro.engine.hub.EngineHub` keeps one cache for all of its
+registered networks; fingerprints keep the entries apart).
+
+Three tiers with one contract (``get`` / ``put`` / ``purge_fingerprint``
+/ ``clear`` / ``close``):
+
+* :class:`ResultCache` — in-memory LRU.  Entries are stored as pickled
+  *snapshots*: ``put`` serializes, ``get`` deserializes, so every caller
+  receives a private copy and mutating a returned result can never
+  poison a future hit (nor can mutating the object after ``put``).
+* :class:`DiskResultCache` — one sqlite file keyed by
+  ``(fingerprint, pickled canonical key)``, values pickled
+  :class:`~repro.core.results.MiningResult` snapshots.  A restarted
+  process answers previously mined queries without re-mining.  Loads are
+  corruption-tolerant: unreadable files and undecodable rows degrade to
+  misses (a corrupt file is recreated), never to exceptions.
+* :class:`TieredResultCache` — memory over disk: hits promote to the
+  memory tier, writes and purges go to both.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import sqlite3
 from collections import OrderedDict
 from typing import Hashable
 
-__all__ = ["ResultCache"]
+__all__ = ["DiskResultCache", "ResultCache", "TieredResultCache"]
+
+#: Fixed protocol so key blobs are stable across interpreter runs.
+_PICKLE_PROTOCOL = 4
+
+
+def _key_fingerprint(key: Hashable) -> str | None:
+    """The fingerprint component of an engine cache key, if it has one."""
+    if isinstance(key, tuple) and key and isinstance(key[0], str):
+        return key[0]
+    return None
 
 
 class ResultCache:
-    """A plain LRU mapping.  Hit/miss accounting lives in
+    """A snapshotting LRU mapping.  Hit/miss accounting lives in
     :class:`~repro.engine.engine.EngineStats`, which also sees the
     in-batch duplicates this cache never receives.
 
@@ -30,30 +59,241 @@ class ResultCache:
         if maxsize < 0:
             raise ValueError("maxsize must be non-negative")
         self.maxsize = maxsize
-        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._entries: OrderedDict[Hashable, bytes] = OrderedDict()
 
     def get(self, key: Hashable):
-        """The cached value, refreshed to most-recent, or ``None``."""
+        """A private copy of the cached value, refreshed to most-recent,
+        or ``None``.  Each call deserializes a fresh object — callers may
+        mutate what they receive without poisoning later hits."""
         try:
-            value = self._entries[key]
+            blob = self._entries[key]
         except KeyError:
             return None
         self._entries.move_to_end(key)
-        return value
+        return pickle.loads(blob)
 
     def put(self, key: Hashable, value) -> None:
+        """Snapshot ``value`` into the cache (later mutation of the
+        caller's object does not reach the stored copy)."""
         if self.maxsize == 0:
             return
-        self._entries[key] = value
+        self._entries[key] = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
 
+    def purge_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry keyed under ``fingerprint``; returns the count.
+
+        Entries of a superseded store version could never be *served*
+        again (lookups use the new fingerprint) — the purge exists so
+        dead keys stop occupying LRU capacity that live entries need.
+        """
+        stale = [
+            key for key in self._entries if _key_fingerprint(key) == fingerprint
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
     def clear(self) -> None:
         self._entries.clear()
+
+    def close(self) -> None:
+        self.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
+
+
+class DiskResultCache:
+    """Result cache persisted to one sqlite file between processes.
+
+    The schema is a single ``results`` table keyed by ``(fingerprint,
+    pickled canonical key)``.  Mid-run degradation is best-effort: an
+    existing file that cannot be read as sqlite is recreated (the cache
+    is a cache — losing it costs re-mining, not correctness), a row
+    whose value fails to unpickle is deleted and reported as a miss, and
+    operational errors during ``put`` are swallowed.  An *unopenable
+    path* at construction (nonexistent directory, no permission) raises
+    instead: a persistence config typo must not silently disable the
+    tier the caller asked for.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self._conn: sqlite3.Connection | None = None
+        self._connect()
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        try:
+            self._conn = self._open()
+        except sqlite3.Error:
+            if not os.path.exists(self.path):
+                # The file could not even be created — a bad path, not a
+                # bad cache.  Corruption tolerance must not mask it.
+                raise
+            # Corrupt or not sqlite at all: recreate from scratch.
+            os.unlink(self.path)
+            self._conn = self._open()
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path)
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " fingerprint TEXT NOT NULL,"
+            " ckey BLOB NOT NULL,"
+            " value BLOB NOT NULL,"
+            " PRIMARY KEY (fingerprint, ckey))"
+        )
+        conn.commit()
+        return conn
+
+    @staticmethod
+    def _split(key: Hashable) -> tuple[str, bytes]:
+        fingerprint = _key_fingerprint(key) or ""
+        return fingerprint, pickle.dumps(key, protocol=_PICKLE_PROTOCOL)
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable):
+        if self._conn is None:
+            return None
+        fingerprint, ckey = self._split(key)
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM results WHERE fingerprint = ? AND ckey = ?",
+                (fingerprint, ckey),
+            ).fetchone()
+        except sqlite3.Error:
+            return None
+        if row is None:
+            return None
+        try:
+            return pickle.loads(row[0])
+        except Exception:
+            # Undecodable value (truncated write, version skew): drop it.
+            self._delete(fingerprint, ckey)
+            return None
+
+    def put(self, key: Hashable, value) -> None:
+        if self._conn is None:
+            return
+        fingerprint, ckey = self._split(key)
+        try:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (fingerprint, ckey, value)"
+                " VALUES (?, ?, ?)",
+                (fingerprint, ckey, pickle.dumps(value, protocol=_PICKLE_PROTOCOL)),
+            )
+            self._conn.commit()
+        except sqlite3.Error:
+            pass
+
+    def purge_fingerprint(self, fingerprint: str) -> int:
+        if self._conn is None:
+            return 0
+        try:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+            )
+            self._conn.commit()
+            return cursor.rowcount
+        except sqlite3.Error:
+            return 0
+
+    def _delete(self, fingerprint: str, ckey: bytes) -> None:
+        try:
+            self._conn.execute(
+                "DELETE FROM results WHERE fingerprint = ? AND ckey = ?",
+                (fingerprint, ckey),
+            )
+            self._conn.commit()
+        except sqlite3.Error:
+            pass
+
+    def clear(self) -> None:
+        if self._conn is None:
+            return
+        try:
+            self._conn.execute("DELETE FROM results")
+            self._conn.commit()
+        except sqlite3.Error:
+            pass
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    def __len__(self) -> int:
+        if self._conn is None:
+            return 0
+        try:
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+            )
+        except sqlite3.Error:
+            return 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        if self._conn is None:
+            return False
+        fingerprint, ckey = self._split(key)
+        try:
+            return (
+                self._conn.execute(
+                    "SELECT 1 FROM results WHERE fingerprint = ? AND ckey = ?",
+                    (fingerprint, ckey),
+                ).fetchone()
+                is not None
+            )
+        except sqlite3.Error:
+            return False
+
+
+class TieredResultCache:
+    """Memory LRU in front of a disk tier.
+
+    ``get`` consults memory first and promotes disk hits; ``put``,
+    ``purge_fingerprint`` and ``clear`` apply to both tiers, so delta
+    invalidation reaches persisted entries too.
+    """
+
+    def __init__(self, memory: ResultCache, disk: DiskResultCache) -> None:
+        self.memory = memory
+        self.disk = disk
+
+    def get(self, key: Hashable):
+        value = self.memory.get(key)
+        if value is not None:
+            return value
+        value = self.disk.get(key)
+        if value is not None:
+            self.memory.put(key, value)
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        self.memory.put(key, value)
+        self.disk.put(key, value)
+
+    def purge_fingerprint(self, fingerprint: str) -> int:
+        purged = self.memory.purge_fingerprint(fingerprint)
+        return purged + self.disk.purge_fingerprint(fingerprint)
+
+    def clear(self) -> None:
+        self.memory.clear()
+        self.disk.clear()
+
+    def close(self) -> None:
+        self.memory.close()
+        self.disk.close()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.memory or key in self.disk

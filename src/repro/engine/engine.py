@@ -39,7 +39,7 @@ from typing import Iterable, Mapping
 from ..core.miner import GRMiner, MinerConfig
 from ..core.results import MiningResult
 from ..data.network import SocialNetwork
-from ..data.store import CompactStore, SharedStoreLease
+from ..data.store import CompactStore, SharedStoreHandle, SharedStoreLease
 from ..parallel.miner import (
     check_worker_count,
     execute_shards_inline,
@@ -59,9 +59,11 @@ __all__ = ["EngineStats", "MiningEngine"]
 class EngineStats:
     """Lifecycle counters proving (and measuring) the amortization."""
 
-    #: Shared-memory store exports performed (≤ 1 per engine).
+    #: Shared-memory store exports performed (≤ 1 per engine *version*:
+    #: an append-edge delta retires the old export and pays a new one).
     exports: int = 0
-    #: Worker pools spawned (≤ 1 per engine).
+    #: Worker pools spawned (≤ 1 per engine; 0 for hub-managed engines,
+    #: whose fleet is shared and counted on the hub).
     pool_spawns: int = 0
     #: Queries answered, including cache hits.
     queries: int = 0
@@ -69,6 +71,10 @@ class EngineStats:
     cache_hits: int = 0
     #: Queries actually mined.
     cache_misses: int = 0
+    #: Store-delta invalidation events (append_edges → new fingerprint).
+    invalidations: int = 0
+    #: Cache entries explicitly purged by those invalidations.
+    purged_entries: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -77,6 +83,8 @@ class EngineStats:
             "queries": self.queries,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "invalidations": self.invalidations,
+            "purged_entries": self.purged_entries,
         }
 
 
@@ -115,6 +123,12 @@ class MiningEngine:
     store:
         A prebuilt :class:`~repro.data.store.CompactStore`; defaults to
         building one from the network.
+    cache:
+        An externally owned result-cache object (any of the
+        :mod:`repro.engine.cache` tiers).  When given, ``cache_size`` is
+        ignored and ``close()`` leaves the cache alone — the mechanism
+        by which an :class:`~repro.engine.hub.EngineHub` shares one
+        (possibly disk-backed) cache across all of its networks.
 
     Examples
     --------
@@ -137,6 +151,7 @@ class MiningEngine:
         threshold_refresh: int = 64,
         cache_size: int = 128,
         store: CompactStore | None = None,
+        cache=None,
     ) -> None:
         self.network = network
         self.store = store if store is not None else CompactStore(network)
@@ -145,11 +160,13 @@ class MiningEngine:
         self.start_method = start_method or default_start_method()
         self.threshold_refresh = threshold_refresh
         self.stats = EngineStats()
-        self._cache = ResultCache(cache_size)
+        self._owns_cache = cache is None
+        self._cache = cache if cache is not None else ResultCache(cache_size)
         self._skeleton: GRMiner | None = None
         self._lease: SharedStoreLease | None = None
         self._pool: PersistentWorkerPool | None = None
         self._buses: BusPool | None = None
+        self._warned_clamp = False
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -194,6 +211,10 @@ class MiningEngine:
             cached = self._cache.get(key)
             if cached is not None:
                 self.stats.cache_hits += 1
+                # The cache hands out private snapshots, so tagging the
+                # copy (consumed by e.g. the CLI's per-row accounting)
+                # cannot leak into the stored entry or other callers.
+                cached.params["cached"] = True
                 results[i] = cached
                 continue
             if key in inflight:  # duplicate within this batch
@@ -294,10 +315,14 @@ class MiningEngine:
             config = request.to_config()
             plan = self._armed_skeleton(config).plan_branches()
             workers = min(request.workers, self.workers)
-            if request.workers > self.workers:
+            if request.workers > self.workers and not self._warned_clamp:
+                # Once per engine (and per hub network): a sweep of N
+                # over-asking requests is one misconfiguration, not N.
+                self._warned_clamp = True
                 warnings.warn(
                     f"request asked for workers={request.workers} but the "
-                    f"engine's fleet has {self.workers}; clamping",
+                    f"engine's fleet has {self.workers}; clamping (further "
+                    "clamped requests on this engine stay silent)",
                     stacklevel=3,
                 )
             warn_if_overprovisioned(workers, len(plan.branches))
@@ -306,12 +331,17 @@ class MiningEngine:
             bus = None
             if pooled and config.push_topk and config.k is not None:
                 bus = self._bus_pool().acquire()
+            # Inline shards run on this process's own store; pooled ones
+            # carry the lease handle so any fleet — including a shared,
+            # store-agnostic hub fleet — can attach the right data.
+            store_handle = self._task_store_handle() if pooled else None
             tasks = [
                 ShardTask(
                     shard_id=j,
                     branches=branches,
                     config=config,
                     bus_handle=bus.handle() if bus is not None else None,
+                    store_handle=store_handle,
                 )
                 for j, branches in enumerate(shards)
             ]
@@ -376,18 +406,74 @@ class MiningEngine:
         return self._skeleton
 
     # ------------------------------------------------------------------
+    # Store mutation (append-edge deltas)
+    # ------------------------------------------------------------------
+    def append_edges(self, src, dst, edge_codes=None) -> str:
+        """Apply an append-edge delta to the served network, safely.
+
+        Appends the edges (:meth:`SocialNetwork.append_edges`), rebuilds
+        the store's edge-derived arrays
+        (:meth:`CompactStore.apply_delta`) and then
+        :meth:`refresh_store`s the serving state.  Returns the new store
+        fingerprint.  Do not mutate ``engine.network`` directly — the
+        engine would keep serving pre-delta results from its caches.
+        """
+        self._ensure_open()
+        self.network.append_edges(src, dst, edge_codes)
+        self.store.apply_delta()
+        return self.refresh_store()
+
+    def refresh_store(self) -> str:
+        """Re-sync serving state after the backing store was rebuilt.
+
+        Re-reads the fingerprint; when it changed, purges the old
+        fingerprint's result-cache entries (they could never be served
+        again — lookups use the new fingerprint — but they would pollute
+        the LRU and any disk tier), drops the serial skeleton (its
+        column gathers and first-level partitions describe the old edge
+        set) and retires the shared-memory lease (workers attach the
+        next export per task).  The worker fleet itself survives: tasks
+        carry their store handles, so no respawn is needed.
+        """
+        old = self.fingerprint
+        new = self.store.fingerprint()
+        if new == old:
+            return new
+        self.fingerprint = new
+        self.stats.invalidations += 1
+        self.stats.purged_entries += self._cache.purge_fingerprint(old)
+        self._skeleton = None
+        self._release_lease()
+        return new
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def _ensure_lease(self) -> SharedStoreLease:
+        """The live export of the *current* store version (≥ 0 exports:
+        kept across pool-spawn failures, retired by refresh_store)."""
+        if self._lease is None or self._lease.closed:
+            self._lease = self.store.lease_shared()
+            self.stats.exports += 1
+        return self._lease
+
+    def _release_lease(self) -> None:
+        if self._lease is not None:
+            self._lease.close()
+            self._lease = None
+
+    def _task_store_handle(self) -> SharedStoreHandle:
+        """The store handle pooled shard tasks must carry."""
+        return self._ensure_lease().handle
+
     def _ensure_pool(self) -> PersistentWorkerPool:
         if self._pool is None:
             # The lease is kept if the spawn below fails: the export
             # succeeded and is reusable, so a retry must not pay (or
             # count) a second one.
-            if self._lease is None:
-                self._lease = self.store.lease_shared()
-                self.stats.exports += 1
+            lease = self._ensure_lease()
             self._pool = PersistentWorkerPool(
-                self._lease.handle,
+                lease.handle,
                 processes=self.workers,
                 start_method=self.start_method,
                 threshold_refresh=self.threshold_refresh,
@@ -424,10 +510,9 @@ class MiningEngine:
         if self._buses is not None:
             self._buses.close()
             self._buses = None
-        if self._lease is not None:
-            self._lease.close()
-            self._lease = None
-        self._cache.clear()
+        self._release_lease()
+        if self._owns_cache:
+            self._cache.close()
 
     def __enter__(self) -> "MiningEngine":
         return self

@@ -1,0 +1,358 @@
+"""EngineHub — many named networks served through one shared fleet.
+
+A :class:`~repro.engine.MiningEngine` amortizes per-query setup for one
+immutable network; the hub amortizes the *fleet* across many networks
+and makes the networks mutable:
+
+* **One pool, one bus pool.**  The worker fleet is spawned once,
+  store-agnostic (``PersistentWorkerPool(None, ...)``); every pooled
+  shard task carries its network's store handle and workers attach the
+  export on demand (LRU-bounded per worker).  Threshold-bus segments
+  come from one shared free list.
+* **Per-network leases under a memory budget.**  Each registered
+  network's shared-memory export lives in an LRU of
+  :class:`~repro.data.store.SharedStoreLease`\\ s.  Attaching a lease
+  that would push the total mapped bytes over ``lease_budget_bytes``
+  evicts the least-recently-served network's lease (never the one being
+  served).  Workers that already mapped an evicted segment keep their
+  mapping (POSIX unlink semantics); the next query for that network
+  simply pays a fresh export.
+* **Append-edge deltas with fingerprint-keyed invalidation.**
+  :meth:`append_edges` mutates the named network in place, rebuilds the
+  store's edge-derived arrays, recomputes the fingerprint, purges the
+  old fingerprint's result-cache entries (memory *and* disk tier) and
+  retires the stale lease.  Untouched networks keep their cache entries
+  and leases.
+* **A shared result cache with an optional disk tier.**  Keys embed the
+  store fingerprint, so one cache safely serves every network.  With
+  ``disk_cache=PATH`` the cache is a
+  :class:`~repro.engine.cache.TieredResultCache` over a sqlite file —
+  a restarted process answers previously mined queries without
+  re-mining.
+
+Semantics are inherited from the engine layer: each network is served
+by a hub-managed :class:`MiningEngine` subclass whose only deviations
+are *where* the pool, buses, lease and cache come from.  The hub is not
+thread-safe; serve it from one coordinator (queries themselves still
+fan out over the worker fleet).
+
+Examples
+--------
+>>> from repro.datasets.toy import toy_dating_network
+>>> from repro.engine import EngineHub
+>>> with EngineHub(workers=2) as hub:
+...     _ = hub.register("toy", toy_dating_network())
+...     result = hub.mine("toy", k=5, min_support=2, min_nhp=0.5)
+>>> len(result) <= 5
+True
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Iterable, Mapping
+
+from ..core.results import MiningResult
+from ..data.network import SocialNetwork
+from ..data.store import CompactStore, SharedStoreLease
+from ..parallel.miner import check_worker_count
+from ..parallel.pool import BusPool, PersistentWorkerPool, default_start_method
+from .cache import DiskResultCache, ResultCache, TieredResultCache
+from .engine import MiningEngine
+from .request import MineRequest
+
+__all__ = ["EngineHub"]
+
+
+class _HubEngine(MiningEngine):
+    """A MiningEngine whose fleet, buses, lease and cache are hub-owned.
+
+    ``self._pool`` / ``self._buses`` are never populated, so the base
+    ``close()`` cannot tear down shared resources; the lease lives in
+    the hub's LRU instead of ``self._lease``.
+    """
+
+    def __init__(self, hub: "EngineHub", name: str, network: SocialNetwork,
+                 store: CompactStore | None = None) -> None:
+        self._hub = hub
+        self.name = name
+        super().__init__(
+            network,
+            workers=hub.workers,
+            start_method=hub.start_method,
+            threshold_refresh=hub.threshold_refresh,
+            store=store,
+            cache=hub.cache,
+        )
+
+    def _ensure_lease(self) -> SharedStoreLease:
+        return self._hub._touch_lease(self)
+
+    def _release_lease(self) -> None:
+        self._hub._drop_lease(self.name)
+
+    def _ensure_pool(self) -> PersistentWorkerPool:
+        # The shared fleet is store-agnostic, so serving a pooled query
+        # requires this network's lease to be resident alongside it.
+        self._hub._touch_lease(self)
+        return self._hub._ensure_pool()
+
+    def _bus_pool(self) -> BusPool:
+        return self._hub._bus_pool()
+
+    def __repr__(self) -> str:
+        return (
+            f"_HubEngine({self.name!r}, fingerprint={self.fingerprint[:12]}, "
+            f"queries={self.stats.queries})"
+        )
+
+
+class EngineHub:
+    """Serve mining queries against many named networks from one fleet.
+
+    Parameters
+    ----------
+    workers:
+        Shared fleet size (``None`` uses ``os.cpu_count()``).  Every
+        network's pooled queries run on this one fleet.
+    start_method, threshold_refresh:
+        As on :class:`~repro.engine.MiningEngine`, applied hub-wide.
+    cache_size:
+        Capacity of the shared in-memory result LRU (``0`` disables the
+        memory tier).
+    disk_cache:
+        Optional path to a sqlite file persisting the result cache
+        across processes (:class:`~repro.engine.cache.DiskResultCache`).
+    lease_budget_bytes:
+        Soft cap on the summed size of resident shared-memory store
+        exports; exceeding it evicts least-recently-served leases
+        (``None`` = unbounded).  The lease of the network currently
+        being served is never evicted, so a single oversized network
+        still works — the budget then only keeps *other* networks out.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        start_method: str | None = None,
+        threshold_refresh: int = 64,
+        cache_size: int = 256,
+        disk_cache: str | os.PathLike | None = None,
+        lease_budget_bytes: int | None = None,
+    ) -> None:
+        if lease_budget_bytes is not None and lease_budget_bytes <= 0:
+            raise ValueError("lease_budget_bytes must be positive (or None)")
+        self.workers = check_worker_count(workers)
+        self.start_method = start_method or default_start_method()
+        self.threshold_refresh = threshold_refresh
+        self.lease_budget_bytes = lease_budget_bytes
+        memory = ResultCache(cache_size)
+        self.cache = (
+            TieredResultCache(memory, DiskResultCache(disk_cache))
+            if disk_cache is not None
+            else memory
+        )
+        self._engines: dict[str, _HubEngine] = {}
+        self._leases: "OrderedDict[str, SharedStoreLease]" = OrderedDict()
+        self._pool: PersistentWorkerPool | None = None
+        self._buses: BusPool | None = None
+        #: Fleet spawns performed (≤ 1 per hub lifetime).
+        self.pool_spawns = 0
+        #: Leases closed by the memory budget (not by deltas or close()).
+        self.lease_evictions = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        network: SocialNetwork,
+        store: CompactStore | None = None,
+    ) -> _HubEngine:
+        """Add a named network; returns its hub-managed engine.
+
+        The compact store is built (or adopted) and fingerprinted now;
+        the shared-memory export is deferred until the first pooled
+        query touches it.
+        """
+        self._ensure_open()
+        if name in self._engines:
+            raise ValueError(f"network {name!r} is already registered")
+        engine = _HubEngine(self, name, network, store=store)
+        self._engines[name] = engine
+        return engine
+
+    def engine(self, name: str) -> _HubEngine:
+        """The hub-managed engine serving ``name``."""
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise KeyError(
+                f"no network {name!r} registered "
+                f"(have: {sorted(self._engines) or 'none'})"
+            ) from None
+
+    def network(self, name: str) -> SocialNetwork:
+        return self.engine(name).network
+
+    def names(self) -> list[str]:
+        return sorted(self._engines)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._engines
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def mine(
+        self, name: str, request: MineRequest | None = None, **kwargs
+    ) -> MiningResult:
+        """Answer one query against the named network."""
+        self._ensure_open()
+        return self.engine(name).mine(request, **kwargs)
+
+    def sweep(
+        self, name: str, requests: Iterable[MineRequest | Mapping]
+    ) -> list[MiningResult]:
+        """Answer a batch of queries against the named network."""
+        self._ensure_open()
+        return self.engine(name).sweep(requests)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append_edges(self, name: str, src, dst, edge_codes=None) -> str:
+        """Append edges to the named network; returns its new fingerprint.
+
+        Rebuilds the store's edge-derived state, retires the stale lease
+        and purges exactly the old fingerprint's cache entries (memory
+        and disk tier) — other networks' entries, hits and leases are
+        untouched.
+        """
+        self._ensure_open()
+        return self.engine(name).append_edges(src, dst, edge_codes)
+
+    # ------------------------------------------------------------------
+    # Shared resources (called by _HubEngine)
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> PersistentWorkerPool:
+        if self._pool is None:
+            self._pool = PersistentWorkerPool(
+                None,  # store-agnostic: tasks carry their store handles
+                processes=self.workers,
+                start_method=self.start_method,
+                threshold_refresh=self.threshold_refresh,
+            )
+            self.pool_spawns += 1
+        return self._pool
+
+    def _bus_pool(self) -> BusPool:
+        if self._buses is None:
+            self._buses = BusPool(num_slots=self.workers)
+        return self._buses
+
+    def _touch_lease(self, engine: _HubEngine) -> SharedStoreLease:
+        """The live lease for ``engine``, freshly exported if needed,
+        promoted to most-recently-served, with the budget enforced."""
+        lease = self._leases.get(engine.name)
+        if lease is None or lease.closed:
+            lease = engine.store.lease_shared()
+            engine.stats.exports += 1
+            self._leases[engine.name] = lease
+        self._leases.move_to_end(engine.name)
+        self._evict_over_budget(keep=engine.name)
+        return lease
+
+    def _drop_lease(self, name: str) -> None:
+        lease = self._leases.pop(name, None)
+        if lease is not None:
+            lease.close()
+
+    def _evict_over_budget(self, keep: str) -> None:
+        if self.lease_budget_bytes is None:
+            return
+        while (
+            len(self._leases) > 1
+            and sum(lease.size for lease in self._leases.values())
+            > self.lease_budget_bytes
+        ):
+            # Walk from least-recently-served, skipping the in-flight one.
+            victim = next(name for name in self._leases if name != keep)
+            self._leases.pop(victim).close()
+            self.lease_evictions += 1
+
+    def resident_networks(self) -> list[str]:
+        """Networks whose store export is currently mapped, LRU order."""
+        return [name for name, lease in self._leases.items() if not lease.closed]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self, name: str):
+        """The named network's :class:`EngineStats`."""
+        return self.engine(name).stats
+
+    def aggregate_stats(self) -> dict[str, int]:
+        """Hub-wide counters: summed engine stats plus fleet/lease state."""
+        totals: dict[str, int] = {
+            "networks": len(self._engines),
+            "pool_spawns": self.pool_spawns,
+            "lease_evictions": self.lease_evictions,
+            "resident_leases": len(self.resident_networks()),
+        }
+        for engine in self._engines.values():
+            for key, value in engine.stats.as_dict().items():
+                if key != "pool_spawns":  # hub engines never spawn pools
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("EngineHub is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the fleet, buses, every lease and the cache (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for engine in self._engines.values():
+            engine.close()  # per-engine state; shared resources below
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool = None
+        if self._buses is not None:
+            self._buses.close()
+            self._buses = None
+        for lease in self._leases.values():
+            lease.close()
+        self._leases.clear()
+        self.cache.close()
+
+    def __enter__(self) -> "EngineHub":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "pooled" if self._pool is not None else "idle"
+        )
+        return (
+            f"EngineHub(networks={sorted(self._engines)}, "
+            f"workers={self.workers}, {state}, "
+            f"resident={self.resident_networks()})"
+        )

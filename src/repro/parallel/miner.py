@@ -134,7 +134,7 @@ def execute_shards_inline(
     because :func:`run_shard` applies the same per-shard verification.
     """
     state = make_worker_state(serial.network, serial.store)
-    state.miner = serial
+    state.default.miner = serial
     return [run_shard(task, state=state) for task in tasks]
 
 

@@ -43,7 +43,11 @@ class PersistentWorkerPool:
     store_handle:
         Picklable descriptor of the exported store
         (:attr:`SharedStoreLease.handle`).  The caller owns the segment
-        and must keep its lease open for the pool's lifetime.
+        and must keep its lease open for the pool's lifetime.  ``None``
+        spawns a *store-agnostic* fleet: every task must then carry its
+        own ``store_handle``, which workers attach (and LRU-cache) on
+        demand — the multi-network mode used by
+        :class:`repro.engine.EngineHub`.
     processes:
         Fleet size.  A query may use fewer workers (its planner simply
         emits fewer shards) but never more.
@@ -57,7 +61,7 @@ class PersistentWorkerPool:
 
     def __init__(
         self,
-        store_handle: SharedStoreHandle,
+        store_handle: SharedStoreHandle | None,
         processes: int,
         start_method: str | None = None,
         threshold_refresh: int = 64,

@@ -37,6 +37,7 @@ GRMiner(k)'s dynamic threshold can drop below k results (DESIGN.md
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..core.miner import BranchSpec, GRMiner, MinerConfig
@@ -50,6 +51,7 @@ __all__ = [
     "CrossShardGeneralityVerifier",
     "ShardResult",
     "ShardTask",
+    "StoreAttachment",
     "initialize_worker",
     "make_worker_state",
     "run_shard",
@@ -64,13 +66,19 @@ class ShardTask:
     bus.  ``bus_handle`` addresses the bus segment for *this query* —
     concurrent queries interleaved over one pool each bring their own
     bus, which is how query N's dynamic thresholds stay out of query
-    N+1's pruning.
+    N+1's pruning.  ``store_handle`` addresses the shared store the task
+    mines over: ``None`` uses the store the pool was initialized with
+    (the single-network engine and the one-shot miner), while a handle
+    makes the worker attach that export on demand — the mechanism that
+    lets one fleet serve many networks (:class:`repro.engine.EngineHub`)
+    and re-exported post-delta stores.
     """
 
     shard_id: int
     branches: tuple[BranchSpec, ...]
     config: MinerConfig
     bus_handle: BusHandle | None = None
+    store_handle: SharedStoreHandle | None = None
 
 
 @dataclass
@@ -83,14 +91,34 @@ class ShardResult:
 
 
 @dataclass
-class WorkerState:
-    """Everything a worker keeps between tasks."""
+class StoreAttachment:
+    """One attached store (default or per-task) plus its armed miner."""
 
     network: object
     store: object
-    refresh_every: int
     shm: object = None  # keeps the attached segment alive
-    miner: GRMiner | None = field(default=None)
+    miner: GRMiner | None = None
+
+
+@dataclass
+class WorkerState:
+    """Everything a worker keeps between tasks."""
+
+    refresh_every: int
+    #: The store the pool was initialized with (``None`` for a
+    #: store-agnostic fleet, e.g. an EngineHub's, where every task
+    #: carries its own handle).
+    default: StoreAttachment | None = None
+    #: Segment name of the default attachment — tasks addressing it by
+    #: handle are served from ``default`` instead of re-attaching.
+    default_name: str | None = None
+    #: Per-task store attachments keyed by segment name, LRU-bounded by
+    #: ``max_attachments`` (a hub evicts leases under a memory budget
+    #: and re-exports post-delta stores, so stale names do turn over).
+    attachments: "OrderedDict[str, StoreAttachment]" = field(
+        default_factory=OrderedDict
+    )
+    max_attachments: int = 8
     #: Attached threshold buses keyed by segment name.  An engine reuses
     #: a small free-list of buses across its queries, so this stays
     #: bounded by the engine's concurrent-query high-water mark.
@@ -106,29 +134,44 @@ def make_worker_state(
     store,
     refresh_every: int = 64,
     shm=None,
+    default_name: str | None = None,
 ) -> WorkerState:
     """Build a state object (also used in-process for ``workers=1``)."""
+    default = None
+    if store is not None:
+        default = StoreAttachment(network=network, store=store, shm=shm)
     return WorkerState(
-        network=network,
-        store=store,
         refresh_every=refresh_every,
-        shm=shm,
+        default=default,
+        default_name=default_name,
     )
 
 
 def initialize_worker(
-    store_handle: SharedStoreHandle,
+    store_handle: SharedStoreHandle | None,
     refresh_every: int,
 ) -> None:
     """Pool initializer: attach shared data once per worker process.
 
     Deliberately query-agnostic — no miner parameters, no bus — so the
     pool outlives any individual query (the engine spawns it once and
-    feeds it many).
+    feeds it many).  ``store_handle=None`` starts a store-agnostic
+    worker for a multi-network fleet; tasks then carry their own store
+    handles.  A vanished default segment (unlinked after a store delta
+    while the pool respawned a crashed worker) is tolerated for the same
+    reason — such a worker can still serve every handle-carrying task.
     """
-    network, store, shm = attach_shared_store(store_handle)
+    state = make_worker_state(None, None, refresh_every)
+    if store_handle is not None:
+        try:
+            network, store, shm = attach_shared_store(store_handle)
+        except FileNotFoundError:
+            pass
+        else:
+            state.default = StoreAttachment(network=network, store=store, shm=shm)
+            state.default_name = store_handle.shm_name
     _STATE.clear()
-    _STATE.append(make_worker_state(network, store, refresh_every, shm=shm))
+    _STATE.append(state)
 
 
 class CrossShardGeneralityVerifier:
@@ -180,13 +223,57 @@ class CrossShardGeneralityVerifier:
         return cached
 
 
-def _shard_miner(state: WorkerState, config: MinerConfig) -> GRMiner:
-    """The worker's miner skeleton, re-armed when the query changes."""
-    if state.miner is None:
-        state.miner = GRMiner(state.network, store=state.store, config=config)
-    elif state.miner.config != config:
-        state.miner.rearm(config)
-    return state.miner
+def _task_attachment(
+    state: WorkerState, handle: SharedStoreHandle | None
+) -> StoreAttachment:
+    """Resolve a task's store: the pool default, or an attach-by-name.
+
+    Attachments are cached per segment name and LRU-bounded: one
+    long-lived worker serving a hub's rotating population of leases
+    (evictions, post-delta re-exports) must not accumulate mappings
+    forever.  Eviction drops the armed miner with the views before
+    closing the segment.
+    """
+    if handle is None:
+        if state.default is None:
+            raise RuntimeError(
+                "task carries no store handle and the pool was initialized "
+                "without a default store"
+            )
+        return state.default
+    if state.default_name is not None and handle.shm_name == state.default_name:
+        return state.default
+    attachment = state.attachments.get(handle.shm_name)
+    if attachment is None:
+        network, store, shm = attach_shared_store(handle)
+        attachment = StoreAttachment(network=network, store=store, shm=shm)
+        state.attachments[handle.shm_name] = attachment
+        while len(state.attachments) > state.max_attachments:
+            _, stale = state.attachments.popitem(last=False)
+            stale.miner = None
+            stale.network = None
+            stale.store = None
+            try:
+                if stale.shm is not None:
+                    stale.shm.close()
+            except BufferError:
+                # A straggling view still maps the buffer; the mmap is
+                # reclaimed when it is garbage-collected instead.
+                pass
+    else:
+        state.attachments.move_to_end(handle.shm_name)
+    return attachment
+
+
+def _shard_miner(attachment: StoreAttachment, config: MinerConfig) -> GRMiner:
+    """The attachment's miner skeleton, re-armed when the query changes."""
+    if attachment.miner is None:
+        attachment.miner = GRMiner(
+            attachment.network, store=attachment.store, config=config
+        )
+    elif attachment.miner.config != config:
+        attachment.miner.rearm(config)
+    return attachment.miner
 
 
 def _task_bus(state: WorkerState, handle: BusHandle | None) -> ThresholdBus | None:
@@ -200,12 +287,20 @@ def _task_bus(state: WorkerState, handle: BusHandle | None) -> ThresholdBus | No
 
 
 def run_shard(task: ShardTask, state: WorkerState | None = None) -> ShardResult:
-    """Mine one shard's branches and return its verified entries."""
+    """Mine one shard's branches and return its verified entries.
+
+    An explicitly passed ``state`` (the in-process ``workers=1`` path)
+    always executes on its own default store — its caller built the
+    task; a pool worker resolves the task's ``store_handle`` instead.
+    """
     if state is None:
         if not _STATE:
             raise RuntimeError("worker not initialized — call initialize_worker first")
         state = _STATE[0]
-    miner = _shard_miner(state, task.config)
+        attachment = _task_attachment(state, task.store_handle)
+    else:
+        attachment = _task_attachment(state, None)
+    miner = _shard_miner(attachment, task.config)
     bus = _task_bus(state, task.bus_handle)
     if bus is not None and miner.push_topk and miner.k is not None:
         collector: TopKCollector = SharedThresholdCollector(

@@ -258,3 +258,94 @@ class TestHomophilyCommand:
         assert main(["homophily", str(toy_dir)]) == 0
         out = capsys.readouterr().out
         assert "suggested homophily attributes: EDU" in out
+
+
+class TestHub:
+    @pytest.fixture(scope="class")
+    def fin_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-hub") / "fin"
+        assert main(
+            ["generate", "financial", str(path), "--nodes", "60",
+             "--edges", "300", "--seed", "7"]
+        ) == 0
+        return path
+
+    def test_hub_sweeps_named_networks(self, toy_dir, fin_dir, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "hub.json"
+        assert (
+            main(
+                [
+                    "hub",
+                    "--register", f"toy={toy_dir}",
+                    "--register", f"fin={fin_dir}",
+                    "--mine", "toy",
+                    "--mine", "fin",
+                    "--mine", "toy",  # interleaved + repeated: cache hits
+                    "-k", "3", "5",
+                    "--min-support", "2",
+                    "--min-nhp", "0.5",
+                    "--json", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Hub sweep: 3 network visit(s)" in out
+        payload = json.loads(out_path.read_text())
+        assert len(payload["rows"]) == 6  # 3 visits x 2 grid points
+        assert payload["hub"]["queries"] == 6
+        # The second toy visit is answered entirely from the cache.
+        revisit = [r for r in payload["rows"] if r["network"] == "toy"][2:]
+        assert all(r["cached"] for r in revisit)
+        assert payload["hub"]["cache_hits"] == 2
+
+    def test_hub_disk_cache_warms_a_restart(self, toy_dir, capsys, tmp_path):
+        cache_path = tmp_path / "hub-results.sqlite"
+        argv = [
+            "hub",
+            "--register", f"toy={toy_dir}",
+            "-k", "4",
+            "--min-support", "2",
+            "--min-nhp", "0.5",
+            "--disk-cache", str(cache_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "1 cache hit(s)" not in cold
+        assert main(argv) == 0  # a fresh process over the same file
+        warm = capsys.readouterr().out
+        assert "1 cache hit(s) across 1 queries" in warm
+
+    def test_hub_duplicate_grid_points_report_cached_once(
+        self, toy_dir, capsys, tmp_path
+    ):
+        """Regression: grid points canonicalizing to one key (absolute 2
+        vs fraction 0.05 of 30 edges) are mined once; the duplicate row
+        must report cached=True instead of double-counting the runtime."""
+        import json
+
+        out_path = tmp_path / "dup.json"
+        assert (
+            main(
+                [
+                    "hub",
+                    "--register", f"toy={toy_dir}",
+                    "-k", "3",
+                    "--min-support", "2", "0.05",
+                    "--min-nhp", "0.5",
+                    "--json", str(out_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        rows = json.loads(out_path.read_text())["rows"]
+        assert [row["cached"] for row in rows] == [False, True]
+        assert rows[1]["time (s)"] == 0.0
+        assert rows[0]["grs"] == rows[1]["grs"]
+
+    def test_hub_rejects_malformed_registration(self, toy_dir):
+        with pytest.raises(SystemExit):
+            main(["hub", "--register", "nodirspec", "-k", "3"])

@@ -14,10 +14,13 @@ The engine's contract has three legs:
    orphaned shared-memory segments when a worker dies.
 """
 
+import math
 import warnings
 from multiprocessing import shared_memory
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.miner import GRMiner, MinerConfig
 from repro.datasets.random_graphs import random_attributed_network, random_schema
@@ -124,6 +127,73 @@ class TestMineRequest:
         assert two.canonical_key(schema, edges) == four.canonical_key(schema, edges)
 
 
+class TestMinSupportCanonicalization:
+    """Satellite: minSupp edge cases either raise cleanly or collapse to
+    the same cache key as their integer form."""
+
+    def test_zero_and_vanishing_fractions_collapse_to_one(self):
+        network = _network(0)
+        schema, edges = network.schema, network.num_edges
+        base = MineRequest(k=5, min_support=1).canonical_key(schema, edges)
+        for form in (0, 0.0, 1e-12, 0.5 / edges):
+            key = MineRequest(k=5, min_support=form).canonical_key(schema, edges)
+            assert key == base, f"min_support={form!r} diverged from 1"
+
+    def test_float_one_is_rejected_as_ambiguous(self):
+        # 1.0 reads as both "one edge" (absolute) and "all edges"
+        # (fraction); silently picking one poisons cross-form cache
+        # collapsing, so it must fail at request build time.
+        with pytest.raises(ValueError, match="ambiguous"):
+            MineRequest(k=5, min_support=1.0)
+        with pytest.raises(ValueError, match="ambiguous"):
+            MinerConfig(min_support=1.0)
+        with pytest.raises(ValueError, match="ambiguous"):
+            GRMiner._absolute_support(1.0, 100)
+
+    def test_out_of_range_fractions_raise(self):
+        for bad in (-0.25, 1.5, float("nan"), -3):
+            with pytest.raises(ValueError):
+                MineRequest(k=5, min_support=bad)
+
+    @settings(max_examples=100, deadline=None)
+    @given(v=st.integers(min_value=0, max_value=100))
+    def test_boundary_fractions_match_their_integer_form(self, v):
+        """v/|E| is exactly the fraction meaning "at least v edges"."""
+        network = _network(0)
+        schema, edges = network.schema, network.num_edges
+        assert edges == 100
+        if v == edges:
+            with pytest.raises(ValueError, match="ambiguous"):
+                MineRequest(k=5, min_support=v / edges)
+            return
+        frac_key = MineRequest(k=5, min_support=v / edges).canonical_key(
+            schema, edges
+        )
+        int_key = MineRequest(k=5, min_support=max(1, v)).canonical_key(
+            schema, edges
+        )
+        assert frac_key == int_key
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        fraction=st.floats(
+            min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False
+        )
+    )
+    def test_any_fraction_matches_its_resolved_count(self, fraction):
+        network = _network(0)
+        schema, edges = network.schema, network.num_edges
+        resolved = GRMiner._absolute_support(fraction, edges)
+        assert 1 <= resolved <= edges
+        frac_key = MineRequest(k=5, min_support=fraction).canonical_key(
+            schema, edges
+        )
+        int_key = MineRequest(k=5, min_support=resolved).canonical_key(
+            schema, edges
+        )
+        assert frac_key == int_key
+
+
 class TestResultCache:
     def test_lru_eviction_order(self):
         cache = ResultCache(maxsize=2)
@@ -202,7 +272,12 @@ class TestEngineCache:
         with MiningEngine(network, workers=2) as engine:
             first = engine.mine(request)
             second = engine.mine(request)
-            assert second is first  # the very same object, not a re-mine
+            # Hits hand out private snapshots (mutation cannot poison
+            # the entry), so equality + the hit counter prove the cache
+            # served it, not object identity.
+            assert second is not first
+            assert _signature(second) == _signature(first)
+            assert second.params["cached"] is True
             assert engine.stats.cache_hits == 1
             assert engine.stats.cache_misses == 1
 
@@ -215,7 +290,28 @@ class TestEngineCache:
         with MiningEngine(network) as engine:
             first = engine.mine(absolute)
             second = engine.mine(fractional)
-            assert second is first
+            assert _signature(second) == _signature(first)
+            assert engine.stats.cache_hits == 1
+            assert engine.stats.cache_misses == 1
+
+    def test_mutating_a_hit_does_not_poison_the_cache(self):
+        """Regression: cached results used to be returned by reference,
+        so a caller clearing (or editing) a returned hit corrupted every
+        future hit of that key."""
+        network = _network(4)
+        request = MineRequest(k=10, min_support=2, min_nhp=0.3)
+        with MiningEngine(network) as engine:
+            first = engine.mine(request)
+            reference = _signature(first)
+            assert reference  # a non-trivial result, or the test is vacuous
+            first.grs.clear()  # vandalize the miss-path object
+            hit = engine.mine(request)
+            assert _signature(hit) == reference
+            hit.grs.clear()  # vandalize a hit-path snapshot too
+            hit.params["k"] = "poisoned"
+            again = engine.mine(request)
+            assert _signature(again) == reference
+            assert again.params.get("k") != "poisoned"
 
     def test_duplicates_within_a_sweep_are_mined_once(self):
         network = _network(4)
@@ -412,3 +508,18 @@ class TestWorkerValidation:
         assert _signature(result) == _signature(
             _fresh(network, request.with_workers(2))
         )
+
+    def test_clamp_warning_fires_once_per_engine(self):
+        """Regression: a 100-request sweep used to emit 100 identical
+        clamping warnings; only the first over-asking request warns."""
+        network = _network(2)
+        with MiningEngine(network, workers=2) as engine:
+            with pytest.warns(UserWarning, match="clamping"):
+                engine.mine(MineRequest(k=5, min_support=2, min_nhp=0.3, workers=8))
+            with warnings.catch_warnings(record=True) as later:
+                warnings.simplefilter("always")
+                engine.mine(MineRequest(k=4, min_support=2, min_nhp=0.4, workers=9))
+                engine.sweep(
+                    [MineRequest(k=3, min_support=2, min_nhp=0.5, workers=8)]
+                )
+            assert not [w for w in later if "clamping" in str(w.message)]

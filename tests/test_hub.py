@@ -1,0 +1,390 @@
+"""EngineHub: many mutable networks, one fleet, tiered caching.
+
+The hub's contract extends the engine's three legs:
+
+1. **Sharing** — any number of registered networks are served through
+   exactly one worker-pool spawn and one bus pool, with at most one
+   live shared-memory lease per resident network (LRU-evicted under the
+   memory budget).
+2. **Exactness under mutation** — every hub answer equals a fresh
+   one-shot miner over the network's *current* edge set, including
+   after ``append_edges`` deltas.
+3. **Invalidation precision** — a delta purges exactly the mutated
+   network's old-fingerprint cache entries (memory and disk tier);
+   untouched networks keep their hits and leases.
+4. **Persistence** — with a disk cache, a restarted process answers a
+   previously mined query without mining at all.
+"""
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.miner import GRMiner
+from repro.datasets.random_graphs import random_attributed_network, random_schema
+from repro.engine import (
+    DiskResultCache,
+    EngineHub,
+    MineRequest,
+    ResultCache,
+    TieredResultCache,
+)
+from repro.parallel import ParallelGRMiner
+
+
+def _signature(result):
+    return [(str(m.gr), round(m.score, 9), m.metrics.support_count) for m in result]
+
+
+def _make_network(seed: int, num_edges: int = 100):
+    schema = random_schema(
+        num_node_attrs=3, num_edge_attrs=1, max_domain=3, num_homophily=2, seed=seed
+    )
+    return random_attributed_network(
+        schema, num_nodes=20, num_edges=num_edges, homophily_strength=0.5, seed=seed
+    )
+
+
+def _fresh(network, request: MineRequest):
+    kwargs = dict(
+        k=request.k,
+        min_support=request.min_support,
+        min_score=request.min_nhp,
+        rank_by=request.rank_by,
+        push_topk=request.push_topk,
+        **dict(request.options),
+    )
+    if request.workers is None:
+        return GRMiner(network, **kwargs).mine()
+    return ParallelGRMiner(network, workers=request.workers, **kwargs).mine()
+
+
+def _delta(network, count: int, seed: int = 0):
+    """A valid random edge batch for ``network``."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, network.num_nodes, count)
+    dst = rng.integers(0, network.num_nodes, count)
+    edge_codes = {
+        name: rng.integers(
+            1, network.schema.edge_attribute(name).domain_size + 1, count
+        )
+        for name in network.schema.edge_attribute_names
+    }
+    return src, dst, edge_codes
+
+
+class TestHubRegistry:
+    def test_register_and_lookup(self):
+        with EngineHub(workers=1) as hub:
+            hub.register("a", _make_network(1))
+            assert "a" in hub and hub.names() == ["a"] and len(hub) == 1
+            assert hub.network("a").num_edges == 100
+            with pytest.raises(ValueError, match="already registered"):
+                hub.register("a", _make_network(2))
+            with pytest.raises(KeyError, match="no network"):
+                hub.mine("missing", k=3)
+
+    def test_closed_hub_refuses_everything(self):
+        hub = EngineHub(workers=1)
+        hub.register("a", _make_network(1))
+        hub.close()
+        hub.close()  # idempotent
+        assert hub.closed
+        with pytest.raises(RuntimeError):
+            hub.mine("a", k=3)
+        with pytest.raises(RuntimeError):
+            hub.register("b", _make_network(2))
+
+
+class TestHubEquivalence:
+    """Acceptance: hub answers equal fresh one-shot miners, with one
+    pool spawn total and one live lease per resident network."""
+
+    def test_interleaved_two_network_traffic(self):
+        nets = {"a": _make_network(1), "b": _make_network(2)}
+        requests = [
+            MineRequest(k=10, min_support=2, min_nhp=0.3, workers=2),
+            MineRequest(k=5, min_support=1, min_nhp=0.5, rank_by="confidence",
+                        workers=2),
+            MineRequest(k=6, min_support=2, min_nhp=0.4),  # serial mode
+        ]
+        with EngineHub(workers=2) as hub:
+            for name, network in nets.items():
+                hub.register(name, network)
+            # Alternate networks per query — the worst case for any
+            # per-store caching in the workers.
+            for request in requests:
+                for name in ("a", "b", "a"):
+                    result = hub.mine(name, request)
+                    assert _signature(result) == _signature(
+                        _fresh(nets[name], request)
+                    ), f"hub diverged on {name}: {request.describe()}"
+            assert hub.pool_spawns == 1
+            assert hub.stats("a").pool_spawns == 0  # fleet is hub-owned
+            # One live lease per resident network, nothing orphaned.
+            assert sorted(hub.resident_networks()) == ["a", "b"]
+            assert len(hub._leases) == 2
+        assert hub.resident_networks() == []
+
+    def test_sweep_through_hub_matches_engine_semantics(self):
+        network = _make_network(3)
+        requests = [
+            MineRequest(k=10, min_support=2, min_nhp=0.3, workers=2),
+            MineRequest(k=10, min_support=2, min_nhp=0.3, workers=2),  # dup
+            MineRequest(k=4, min_support=2, min_nhp=0.5),
+        ]
+        with EngineHub(workers=2) as hub:
+            hub.register("n", network)
+            results = hub.sweep("n", requests)
+            stats = hub.stats("n")
+            assert stats.cache_misses == 2 and stats.cache_hits == 1
+        for request, result in zip(requests, results):
+            assert _signature(result) == _signature(_fresh(network, request))
+
+
+class TestDeltaInvalidation:
+    """Satellite: append_edges invalidates exactly the stale entries."""
+
+    def test_hub_equals_fresh_miner_after_delta(self):
+        network = _make_network(4)
+        request = MineRequest(k=10, min_support=2, min_nhp=0.3, workers=2)
+        serial = MineRequest(k=10, min_support=2, min_nhp=0.3)
+        with EngineHub(workers=2) as hub:
+            hub.register("n", network)
+            before = hub.mine("n", request)
+            assert _signature(before) == _signature(_fresh(network, request))
+            old_fp = hub.engine("n").fingerprint
+
+            new_fp = hub.append_edges("n", *_delta(network, 25, seed=7))
+            assert new_fp != old_fp
+            assert hub.engine("n").fingerprint == new_fp
+
+            # Sharded and serial modes both see the mutated edge set.
+            after = hub.mine("n", request)
+            assert _signature(after) == _signature(_fresh(network, request))
+            after_serial = hub.mine("n", serial)
+            assert _signature(after_serial) == _signature(_fresh(network, serial))
+            # Still one fleet; the store was re-exported exactly once.
+            assert hub.pool_spawns == 1
+            assert hub.stats("n").exports == 2
+            assert hub.stats("n").invalidations == 1
+
+    def test_old_fingerprint_entries_are_purged(self):
+        network = _make_network(5)
+        with EngineHub(workers=1, cache_size=32) as hub:
+            hub.register("n", network)
+            hub.mine("n", k=5, min_support=2, min_nhp=0.3)
+            hub.mine("n", k=3, min_support=1, min_nhp=0.5)
+            old_fp = hub.engine("n").fingerprint
+            assert len(hub.cache) == 2
+            hub.append_edges("n", *_delta(network, 10, seed=1))
+            assert len(hub.cache) == 0  # dead keys do not pollute the LRU
+            assert hub.stats("n").purged_entries == 2
+            # A post-delta repeat really re-mines (no stale hit).
+            hub.mine("n", k=5, min_support=2, min_nhp=0.3)
+            assert hub.stats("n").cache_hits == 0
+            assert old_fp != hub.engine("n").fingerprint
+
+    def test_untouched_network_keeps_its_cache_and_lease(self):
+        nets = {"a": _make_network(6), "b": _make_network(7)}
+        request = MineRequest(k=8, min_support=2, min_nhp=0.3, workers=2)
+        with EngineHub(workers=2) as hub:
+            for name, network in nets.items():
+                hub.register(name, network)
+            hub.mine("a", request)
+            hub.mine("b", request)
+            lease_b = hub._leases["b"]
+            hub.append_edges("a", *_delta(nets["a"], 15, seed=2))
+            # b's lease survived the delta to a...
+            assert hub._leases["b"] is lease_b and not lease_b.closed
+            assert "a" not in hub._leases  # a's stale lease retired
+            # ...and so did b's cache entry.
+            again = hub.mine("b", request)
+            assert hub.stats("b").cache_hits == 1
+            assert again.params["cached"] is True
+            assert hub.stats("b").invalidations == 0
+
+    def test_delta_to_empty_batch_is_a_noop(self):
+        network = _make_network(6)
+        with EngineHub(workers=1) as hub:
+            hub.register("n", network)
+            hub.mine("n", k=5, min_support=2, min_nhp=0.3)
+            fp = hub.engine("n").fingerprint
+            new_fp = hub.append_edges("n", [], [], {
+                name: [] for name in network.schema.edge_attribute_names
+            })
+            assert new_fp == fp
+            assert hub.stats("n").invalidations == 0
+            hub.mine("n", k=5, min_support=2, min_nhp=0.3)
+            assert hub.stats("n").cache_hits == 1
+
+
+class TestLeaseBudget:
+    def test_lru_eviction_under_memory_budget(self):
+        nets = {"a": _make_network(1), "b": _make_network(2)}
+        request = MineRequest(k=5, min_support=2, min_nhp=0.3, workers=2)
+        # A budget of one byte forces single-residency (the in-flight
+        # network's lease is exempt, so serving still works).
+        with EngineHub(workers=2, lease_budget_bytes=1) as hub:
+            for name, network in nets.items():
+                hub.register(name, network)
+            hub.mine("a", request)
+            assert hub.resident_networks() == ["a"]
+            result = hub.mine("b", request)
+            assert _signature(result) == _signature(_fresh(nets["b"], request))
+            assert hub.resident_networks() == ["b"]
+            assert hub.lease_evictions == 1
+            # An evicted lease does not evict results: a's repeat query
+            # is a cache hit and touches no shared memory at all.
+            repeat = hub.mine("a", request)
+            assert hub.stats("a").cache_hits == 1
+            assert hub.resident_networks() == ["b"]
+            # A *new* pooled query for a re-exports and evicts b in turn.
+            fresh_request = MineRequest(k=4, min_support=2, min_nhp=0.4, workers=2)
+            again = hub.mine("a", fresh_request)
+            assert _signature(again) == _signature(_fresh(nets["a"], fresh_request))
+            assert hub.resident_networks() == ["a"]
+            assert hub.stats("a").exports == 2
+            assert hub.lease_evictions == 2
+        assert hub.resident_networks() == []
+
+    def test_unbudgeted_hub_keeps_all_leases(self):
+        request = MineRequest(k=5, min_support=2, min_nhp=0.3, workers=2)
+        with EngineHub(workers=2) as hub:
+            for seed, name in enumerate(("a", "b", "c"), start=1):
+                hub.register(name, _make_network(seed))
+                hub.mine(name, request)
+            assert sorted(hub.resident_networks()) == ["a", "b", "c"]
+            assert hub.lease_evictions == 0
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EngineHub(workers=1, lease_budget_bytes=0)
+
+
+class TestDiskCache:
+    def test_restarted_process_serves_from_disk_without_mining(
+        self, tmp_path, monkeypatch
+    ):
+        """Acceptance: kill the hub, start a new one on the same disk
+        cache, repeat a query — zero mining calls."""
+        path = tmp_path / "results.sqlite"
+        network = _make_network(8)
+        request = MineRequest(k=10, min_support=2, min_nhp=0.3)
+        with EngineHub(workers=1, disk_cache=path) as hub:
+            hub.register("n", network)
+            reference = _signature(hub.mine("n", request))
+
+        # "Restart": a brand-new hub (fresh process state) on the file.
+        def _no_mining(*args, **kwargs):
+            raise AssertionError("query must be served from the disk cache")
+
+        monkeypatch.setattr(GRMiner, "mine", _no_mining)
+        monkeypatch.setattr(GRMiner, "plan_branches", _no_mining)
+        with EngineHub(workers=1, disk_cache=path) as hub:
+            hub.register("n", _make_network(8))  # same content, same fingerprint
+            warm = hub.mine("n", request)
+            stats = hub.stats("n")
+            assert stats.cache_hits == 1 and stats.cache_misses == 0
+            assert hub.pool_spawns == 0  # not even the fleet was needed
+        assert _signature(warm) == reference
+
+    def test_disk_hits_promote_to_memory(self, tmp_path):
+        disk = DiskResultCache(tmp_path / "cache.sqlite")
+        memory = ResultCache(maxsize=4)
+        tiered = TieredResultCache(memory, disk)
+        key = ("fp", ("serial", 1))
+        disk.put(key, {"payload": 1})
+        assert len(memory) == 0
+        assert tiered.get(key) == {"payload": 1}
+        assert len(memory) == 1  # promoted
+        disk.clear()
+        assert tiered.get(key) == {"payload": 1}  # now served by memory
+
+    def test_corrupt_file_degrades_to_miss_and_recreates(self, tmp_path):
+        path = tmp_path / "corrupt.sqlite"
+        path.write_bytes(b"this is not a sqlite database at all")
+        cache = DiskResultCache(path)
+        assert cache.get(("fp", "key")) is None
+        cache.put(("fp", "key"), 42)
+        assert cache.get(("fp", "key")) == 42  # fully functional again
+        cache.close()
+
+    def test_unopenable_path_raises_instead_of_silently_disabling(self, tmp_path):
+        # A typo'd --disk-cache must not silently lose persistence.
+        import sqlite3
+
+        with pytest.raises((sqlite3.Error, OSError)):
+            DiskResultCache(tmp_path / "no" / "such" / "dir" / "cache.sqlite")
+
+    def test_corrupt_row_is_dropped_not_raised(self, tmp_path):
+        path = tmp_path / "rows.sqlite"
+        cache = DiskResultCache(path)
+        key = ("fp", "key")
+        cache.put(key, 42)
+        fingerprint, ckey = cache._split(key)
+        cache._conn.execute(
+            "UPDATE results SET value = ? WHERE fingerprint = ? AND ckey = ?",
+            (b"\x80garbage", fingerprint, ckey),
+        )
+        cache._conn.commit()
+        assert cache.get(key) is None
+        assert key not in cache  # the poisoned row was deleted
+        cache.close()
+
+    def test_purge_fingerprint_reaches_the_disk_tier(self, tmp_path):
+        cache = DiskResultCache(tmp_path / "purge.sqlite")
+        cache.put(("old", "k1"), 1)
+        cache.put(("old", "k2"), 2)
+        cache.put(("new", "k1"), 3)
+        assert cache.purge_fingerprint("old") == 2
+        assert len(cache) == 1 and cache.get(("new", "k1")) == 3
+        cache.close()
+
+    def test_snapshot_semantics_on_both_tiers(self, tmp_path):
+        tiered = TieredResultCache(
+            ResultCache(maxsize=4), DiskResultCache(tmp_path / "snap.sqlite")
+        )
+        value = {"grs": [1, 2, 3]}
+        tiered.put(("fp", "k"), value)
+        value["grs"].clear()  # post-put mutation must not reach the cache
+        first = tiered.get(("fp", "k"))
+        assert first == {"grs": [1, 2, 3]}
+        first["grs"].clear()  # nor must mutating a returned hit
+        assert tiered.get(("fp", "k")) == {"grs": [1, 2, 3]}
+        tiered.close()
+
+
+class TestWorkerStoreRotation:
+    """Per-task store attach: one worker serving many segment names."""
+
+    def test_worker_attachment_table_is_bounded(self):
+        from repro.parallel.worker import StoreAttachment, WorkerState, _task_attachment
+        from repro.data.store import CompactStore
+
+        state = WorkerState(refresh_every=64, max_attachments=2)
+        leases = []
+        try:
+            for seed in (1, 2, 3):
+                store = CompactStore(_make_network(seed, num_edges=40))
+                lease = store.lease_shared()
+                leases.append(lease)
+                attachment = _task_attachment(state, lease.handle)
+                assert isinstance(attachment, StoreAttachment)
+                assert attachment.store.num_edges == 40
+            assert len(state.attachments) == 2  # LRU-bounded
+            # Re-touching a live attachment is served from the table.
+            again = _task_attachment(state, leases[-1].handle)
+            assert again is state.attachments[leases[-1].name]
+        finally:
+            state.attachments.clear()
+            for lease in leases:
+                lease.close()
+
+    def test_store_less_state_rejects_handleless_tasks(self):
+        from repro.parallel.worker import WorkerState, _task_attachment
+
+        with pytest.raises(RuntimeError, match="without a default store"):
+            _task_attachment(WorkerState(refresh_every=64), None)

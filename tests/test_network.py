@@ -166,3 +166,55 @@ class TestToyNetwork:
     def test_every_toy_node_has_a_link(self, toy_network):
         degrees = toy_network.out_degrees() + toy_network.in_degrees()
         assert (degrees > 0).all()
+
+
+class TestAppendEdges:
+    """In-place append-edge deltas (the hub's mutable-network primitive)."""
+
+    def test_appends_edges_and_codes(self, small_network):
+        before = small_network.num_edges
+        appended = small_network.append_edges(
+            [0, 2], [3, 5], {"W": np.array([1, 2])}
+        )
+        assert appended == 2
+        assert small_network.num_edges == before + 2
+        assert list(small_network.src[-2:]) == [0, 2]
+        assert list(small_network.dst[-2:]) == [3, 5]
+        assert list(small_network.edge_column("W")[-2:]) == [1, 2]
+        # The node side is untouched.
+        assert small_network.num_nodes == 6
+
+    def test_empty_delta_is_a_noop(self, small_network):
+        before = small_network.num_edges
+        assert small_network.append_edges([], [], {"W": []}) == 0
+        assert small_network.num_edges == before
+
+    def test_bad_batches_leave_the_network_untouched(self, small_network):
+        before = small_network.num_edges
+        with pytest.raises(NetworkError, match="out of range"):
+            small_network.append_edges([0], [99], {"W": [1]})
+        with pytest.raises(NetworkError, match="edge attribute columns"):
+            small_network.append_edges([0], [1], {})  # W missing
+        with pytest.raises(NetworkError, match="edge attribute columns"):
+            small_network.append_edges([0], [1], {"W": [1], "Q": [1]})
+        with pytest.raises(NetworkError, match="codes outside"):
+            small_network.append_edges([0], [1], {"W": [99]})
+        with pytest.raises(NetworkError, match="has 2 entries"):
+            small_network.append_edges([0], [1], {"W": [1, 2]})
+        with pytest.raises(NetworkError, match="equal length"):
+            small_network.append_edges([0, 1], [2], {"W": [1]})
+        assert small_network.num_edges == before
+
+    def test_appended_edges_reach_the_miners(self, small_network):
+        from repro.core.miner import GRMiner
+
+        base = GRMiner(small_network, k=5, min_support=1).mine()
+        # Duplicate the densest relationship a few times: supports grow.
+        small_network.append_edges(
+            [0, 0, 0], [1, 1, 1], {"W": np.array([1, 1, 1])}
+        )
+        grown = GRMiner(small_network, k=5, min_support=1).mine()
+        assert grown.params["abs_min_support"] == base.params["abs_min_support"]
+        assert max(m.metrics.support_count for m in grown) >= max(
+            m.metrics.support_count for m in base
+        )
