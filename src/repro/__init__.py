@@ -43,7 +43,13 @@ Package map
 ``repro.core``      GRMiner, metrics, baselines, alternative metrics.
 ``repro.engine``    The long-lived session layer: MiningEngine serves
                     many MineRequest queries over one shared store,
-                    one worker fleet and an LRU result cache.
+                    one worker fleet and an LRU result cache; EngineHub
+                    serves many named, mutable networks through one
+                    fleet with a bounded disk-tier cache.
+``repro.serve``     The async serving front: a Scheduler interleaves
+                    many concurrent prioritized, cancellable ServeJobs
+                    over one hub fleet, with a stdlib HTTP facade
+                    (``repro serve``).
 ``repro.parallel``  Sharded multi-process mining: shard planner,
                     shared-memory store export, threshold bus, pool
                     lifecycle, and the deterministic merge

@@ -13,6 +13,10 @@ Commands
                (one shared fleet, per-network leases, optional
                disk-persisted result cache) and sweep the grid against
                each named network in turn.
+``serve``      Serve registered datasets over HTTP through the async
+               scheduler (``repro.serve``): request priorities,
+               deadlines, cooperative cancellation and weighted-fair
+               interleaving of many concurrent clients over one fleet.
 ``compare``    Print the Table II style nhp-vs-conf comparison.
 ``homophily``  Suggest homophily attributes from the data.
 """
@@ -100,20 +104,42 @@ def build_parser() -> argparse.ArgumentParser:
         "interleave traffic (default: every registered network once)",
     )
     _add_grid_arguments(hub)
-    hub.add_argument(
-        "--disk-cache",
-        default=None,
-        metavar="PATH",
-        help="persist the result cache to this sqlite file — a restarted "
-        "hub answers repeated queries without re-mining",
+    _add_hub_resource_arguments(hub)
+
+    serve = sub.add_parser(
+        "serve", help="serve datasets over HTTP through the async scheduler"
     )
-    hub.add_argument(
-        "--lease-budget-bytes",
+    serve.add_argument(
+        "--register",
+        action="append",
+        required=True,
+        metavar="NAME=DIR",
+        help="register the CSV dataset in DIR under NAME (repeatable)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8765, help="bind port (0 = any)")
+    serve.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=None,
+        metavar="N",
+        help="shared fleet size (default: cpu count)",
+    )
+    serve.add_argument(
+        "--max-inflight",
         type=int,
         default=None,
         metavar="N",
-        help="evict least-recently-served store exports over this total",
+        help="fleet slots the scheduler keeps occupied (default: fleet size)",
     )
+    serve.add_argument(
+        "--weight",
+        action="append",
+        default=None,
+        metavar="NAME=W",
+        help="fair-share weight for a network (default 1.0; repeatable)",
+    )
+    _add_hub_resource_arguments(serve)
 
     compare = sub.add_parser("compare", help="Table II style nhp-vs-conf comparison")
     _add_mining_arguments(compare)
@@ -123,6 +149,48 @@ def build_parser() -> argparse.ArgumentParser:
     hom.add_argument("directory")
     hom.add_argument("--threshold", type=float, default=0.1)
     return parser
+
+
+def _add_hub_resource_arguments(parser: argparse.ArgumentParser) -> None:
+    """Cache/lease resource options shared by ``hub`` and ``serve``."""
+    parser.add_argument(
+        "--disk-cache",
+        default=None,
+        metavar="PATH",
+        help="persist the result cache to this sqlite file — a restarted "
+        "hub answers repeated queries without re-mining",
+    )
+    parser.add_argument(
+        "--disk-cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict least-recently-used disk-cache rows over this total",
+    )
+    parser.add_argument(
+        "--disk-cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire disk-cache rows not served within this window",
+    )
+    parser.add_argument(
+        "--lease-budget-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict least-recently-served store exports over this total",
+    )
+
+
+def _parse_registrations(specs: Sequence[str]) -> list[tuple[str, str]]:
+    registrations: list[tuple[str, str]] = []
+    for spec in specs:
+        name, sep, directory = spec.partition("=")
+        if not sep or not name or not directory:
+            raise SystemExit(f"--register expects NAME=DIR, got {spec!r}")
+        registrations.append((name, directory))
+    return registrations
 
 
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -383,12 +451,7 @@ def _cmd_hub(args: argparse.Namespace) -> int:
     from .bench.harness import format_series
     from .engine import EngineHub
 
-    registrations: list[tuple[str, str]] = []
-    for spec in args.register:
-        name, sep, directory = spec.partition("=")
-        if not sep or not name or not directory:
-            raise SystemExit(f"--register expects NAME=DIR, got {spec!r}")
-        registrations.append((name, directory))
+    registrations = _parse_registrations(args.register)
     targets = args.mine if args.mine else [name for name, _ in registrations]
 
     grid = list(
@@ -398,6 +461,8 @@ def _cmd_hub(args: argparse.Namespace) -> int:
     with EngineHub(
         workers=args.workers,
         disk_cache=args.disk_cache,
+        disk_cache_max_bytes=args.disk_cache_max_bytes,
+        disk_cache_ttl_seconds=args.disk_cache_ttl,
         lease_budget_bytes=args.lease_budget_bytes,
     ) as hub:
         for name, directory in registrations:
@@ -457,6 +522,57 @@ def _cmd_hub(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .engine import EngineHub
+    from .serve import Scheduler, ServeHTTP
+
+    registrations = _parse_registrations(args.register)
+    weights: list[tuple[str, float]] = []
+    for spec in args.weight or ():
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"--weight expects NAME=W, got {spec!r}")
+        try:
+            weights.append((name, float(value)))
+        except ValueError:
+            raise SystemExit(f"--weight expects a number, got {spec!r}") from None
+
+    async def _serve() -> int:
+        with EngineHub(
+            workers=args.workers,
+            disk_cache=args.disk_cache,
+            disk_cache_max_bytes=args.disk_cache_max_bytes,
+            disk_cache_ttl_seconds=args.disk_cache_ttl,
+            lease_budget_bytes=args.lease_budget_bytes,
+        ) as hub:
+            for name, directory in registrations:
+                hub.register(name, load_network(directory))
+                print(f"registered {name!r} from {directory}")
+            async with Scheduler(hub, max_inflight=args.max_inflight) as scheduler:
+                for name, weight in weights:
+                    scheduler.set_weight(name, weight)
+                async with ServeHTTP(scheduler, args.host, args.port) as server:
+                    print(
+                        f"serving {len(registrations)} network(s) on "
+                        f"http://{args.host}:{server.port} "
+                        f"({hub.workers} workers, {scheduler.slots} slots) — "
+                        "Ctrl-C to stop"
+                    )
+                    try:
+                        await server.serve_forever()
+                    except asyncio.CancelledError:
+                        pass
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nstopped")
+        return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     network = _load(args.directory, args.homophily)
     common = dict(
@@ -489,6 +605,7 @@ _COMMANDS = {
     "mine": _cmd_mine,
     "sweep": _cmd_sweep,
     "hub": _cmd_hub,
+    "serve": _cmd_serve,
     "compare": _cmd_compare,
     "homophily": _cmd_homophily,
 }

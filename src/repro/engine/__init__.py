@@ -17,7 +17,7 @@ result cache that can persist to disk between processes
 """
 
 from .cache import DiskResultCache, ResultCache, TieredResultCache
-from .engine import EngineStats, MiningEngine
+from .engine import EngineStats, MiningEngine, PreparedQuery
 from .hub import EngineHub
 from .request import MineRequest
 
@@ -27,6 +27,7 @@ __all__ = [
     "EngineStats",
     "MineRequest",
     "MiningEngine",
+    "PreparedQuery",
     "ResultCache",
     "TieredResultCache",
 ]

@@ -20,9 +20,17 @@ Three tiers with one contract (``get`` / ``put`` / ``purge_fingerprint``
   :class:`~repro.core.results.MiningResult` snapshots.  A restarted
   process answers previously mined queries without re-mining.  Loads are
   corruption-tolerant: unreadable files and undecodable rows degrade to
-  misses (a corrupt file is recreated), never to exceptions.
+  misses (a corrupt file is recreated), never to exceptions.  The file
+  is bounded: ``max_bytes`` caps the summed value size with
+  LRU-by-``last_used`` eviction, and ``ttl_seconds`` expires entries not
+  served within that window (both optional; the default stays
+  unbounded for backward compatibility).
 * :class:`TieredResultCache` — memory over disk: hits promote to the
   memory tier, writes and purges go to both.
+
+The disk tier is internally locked and its connection is shared across
+threads — the :mod:`repro.serve` coordinator thread reads and writes the
+cache a different thread constructed.
 """
 
 from __future__ import annotations
@@ -30,6 +38,8 @@ from __future__ import annotations
 import os
 import pickle
 import sqlite3
+import threading
+import time
 from collections import OrderedDict
 from typing import Hashable
 
@@ -37,6 +47,11 @@ __all__ = ["DiskResultCache", "ResultCache", "TieredResultCache"]
 
 #: Fixed protocol so key blobs are stable across interpreter runs.
 _PICKLE_PROTOCOL = 4
+
+
+def _now() -> float:
+    """Wall-clock source for TTL/LRU stamps (patchable in tests)."""
+    return time.time()
 
 
 def _key_fingerprint(key: Hashable) -> str | None:
@@ -113,18 +128,49 @@ class DiskResultCache:
     """Result cache persisted to one sqlite file between processes.
 
     The schema is a single ``results`` table keyed by ``(fingerprint,
-    pickled canonical key)``.  Mid-run degradation is best-effort: an
-    existing file that cannot be read as sqlite is recreated (the cache
-    is a cache — losing it costs re-mining, not correctness), a row
-    whose value fails to unpickle is deleted and reported as a miss, and
-    operational errors during ``put`` are swallowed.  An *unopenable
-    path* at construction (nonexistent directory, no permission) raises
-    instead: a persistence config typo must not silently disable the
-    tier the caller asked for.
+    pickled canonical key)``, with per-row ``size`` and ``last_used``
+    bookkeeping columns (files written by older versions are migrated in
+    place).  Mid-run degradation is best-effort: an existing file that
+    cannot be read as sqlite is recreated (the cache is a cache — losing
+    it costs re-mining, not correctness), a row whose value fails to
+    unpickle is deleted and reported as a miss, and operational errors
+    during ``put`` are swallowed.  An *unopenable path* at construction
+    (nonexistent directory, no permission) raises instead: a persistence
+    config typo must not silently disable the tier the caller asked for.
+
+    Parameters
+    ----------
+    path:
+        The sqlite file.
+    max_bytes:
+        Cap on the summed pickled-value bytes.  Exceeding it on ``put``
+        evicts least-recently-*used* rows (``get`` refreshes a row's
+        ``last_used``) until back under; ``None`` leaves the file
+        unbounded.  One oversized value is still stored — the cap then
+        keeps everything else out, mirroring the hub's lease budget.
+    ttl_seconds:
+        Rows not served within this window expire: lazily on the access
+        that finds them stale, and in bulk on every ``put``.  ``None``
+        disables expiry.
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        max_bytes: int | None = None,
+        ttl_seconds: float | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
         self.path = os.fspath(path)
+        self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
+        #: Rows deleted by the size cap / by TTL expiry (this process).
+        self.evictions = 0
+        self.expirations = 0
+        self._lock = threading.RLock()
         self._conn: sqlite3.Connection | None = None
         self._connect()
 
@@ -142,7 +188,10 @@ class DiskResultCache:
             self._conn = self._open()
 
     def _open(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(self.path)
+        # One connection shared across threads, serialized by our lock —
+        # the serve coordinator thread uses a cache built on the main
+        # thread, which sqlite's default per-thread check would reject.
+        conn = sqlite3.connect(self.path, check_same_thread=False)
         conn.execute(
             "CREATE TABLE IF NOT EXISTS results ("
             " fingerprint TEXT NOT NULL,"
@@ -150,6 +199,19 @@ class DiskResultCache:
             " value BLOB NOT NULL,"
             " PRIMARY KEY (fingerprint, ckey))"
         )
+        # In-place migration of pre-eviction files: add the bookkeeping
+        # columns and backfill them so old rows are evictable too.
+        columns = {row[1] for row in conn.execute("PRAGMA table_info(results)")}
+        if "size" not in columns:
+            conn.execute(
+                "ALTER TABLE results ADD COLUMN size INTEGER NOT NULL DEFAULT 0"
+            )
+            conn.execute("UPDATE results SET size = LENGTH(value)")
+        if "last_used" not in columns:
+            conn.execute(
+                "ALTER TABLE results ADD COLUMN last_used REAL NOT NULL DEFAULT 0"
+            )
+            conn.execute("UPDATE results SET last_used = ?", (_now(),))
         conn.commit()
         return conn
 
@@ -160,50 +222,119 @@ class DiskResultCache:
 
     # ------------------------------------------------------------------
     def get(self, key: Hashable):
-        if self._conn is None:
-            return None
-        fingerprint, ckey = self._split(key)
-        try:
-            row = self._conn.execute(
-                "SELECT value FROM results WHERE fingerprint = ? AND ckey = ?",
-                (fingerprint, ckey),
-            ).fetchone()
-        except sqlite3.Error:
-            return None
-        if row is None:
-            return None
-        try:
-            return pickle.loads(row[0])
-        except Exception:
-            # Undecodable value (truncated write, version skew): drop it.
-            self._delete(fingerprint, ckey)
-            return None
+        with self._lock:
+            if self._conn is None:
+                return None
+            fingerprint, ckey = self._split(key)
+            now = _now()
+            try:
+                row = self._conn.execute(
+                    "SELECT value, last_used FROM results"
+                    " WHERE fingerprint = ? AND ckey = ?",
+                    (fingerprint, ckey),
+                ).fetchone()
+            except sqlite3.Error:
+                return None
+            if row is None:
+                return None
+            if (
+                self.ttl_seconds is not None
+                and now - row[1] > self.ttl_seconds
+            ):
+                # Stale by TTL: lazily expired on the access that saw it.
+                self._delete(fingerprint, ckey)
+                self.expirations += 1
+                return None
+            try:
+                value = pickle.loads(row[0])
+            except Exception:
+                # Undecodable value (truncated write, version skew): drop it.
+                self._delete(fingerprint, ckey)
+                return None
+            if self.max_bytes is not None or self.ttl_seconds is not None:
+                # The recency stamp only matters when something reads it
+                # (LRU eviction / TTL); an unbounded cache keeps its hit
+                # path a pure SELECT instead of a write transaction.
+                try:
+                    self._conn.execute(
+                        "UPDATE results SET last_used = ?"
+                        " WHERE fingerprint = ? AND ckey = ?",
+                        (now, fingerprint, ckey),
+                    )
+                    self._conn.commit()
+                except sqlite3.Error:
+                    pass
+            return value
 
     def put(self, key: Hashable, value) -> None:
-        if self._conn is None:
-            return
-        fingerprint, ckey = self._split(key)
-        try:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO results (fingerprint, ckey, value)"
-                " VALUES (?, ?, ?)",
-                (fingerprint, ckey, pickle.dumps(value, protocol=_PICKLE_PROTOCOL)),
+        with self._lock:
+            if self._conn is None:
+                return
+            fingerprint, ckey = self._split(key)
+            blob = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO results"
+                    " (fingerprint, ckey, value, size, last_used)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (fingerprint, ckey, blob, len(blob), _now()),
+                )
+                self._conn.commit()
+                self._enforce_bounds(keep=(fingerprint, ckey))
+            except sqlite3.Error:
+                pass
+
+    def _enforce_bounds(self, keep: tuple[str, bytes]) -> None:
+        """Expire TTL-stale rows, then evict LRU rows over ``max_bytes``.
+
+        The just-written row is exempt from the size sweep (an oversized
+        single entry is stored rather than thrashed), matching the
+        lease budget's in-flight exemption.
+        """
+        now = _now()
+        if self.ttl_seconds is not None:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE last_used < ?"
+                " AND NOT (fingerprint = ? AND ckey = ?)",
+                (now - self.ttl_seconds, *keep),
             )
+            self.expirations += max(cursor.rowcount, 0)
+        if self.max_bytes is None:
             self._conn.commit()
-        except sqlite3.Error:
-            pass
+            return
+        while True:
+            total = self._conn.execute(
+                "SELECT COALESCE(SUM(size), 0) FROM results"
+            ).fetchone()[0]
+            if total <= self.max_bytes:
+                break
+            victim = self._conn.execute(
+                "SELECT fingerprint, ckey FROM results"
+                " WHERE NOT (fingerprint = ? AND ckey = ?)"
+                " ORDER BY last_used ASC LIMIT 1",
+                keep,
+            ).fetchone()
+            if victim is None:
+                break
+            self._conn.execute(
+                "DELETE FROM results WHERE fingerprint = ? AND ckey = ?",
+                tuple(victim),
+            )
+            self.evictions += 1
+        self._conn.commit()
 
     def purge_fingerprint(self, fingerprint: str) -> int:
-        if self._conn is None:
-            return 0
-        try:
-            cursor = self._conn.execute(
-                "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
-            )
-            self._conn.commit()
-            return cursor.rowcount
-        except sqlite3.Error:
-            return 0
+        with self._lock:
+            if self._conn is None:
+                return 0
+            try:
+                cursor = self._conn.execute(
+                    "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+                )
+                self._conn.commit()
+                return cursor.rowcount
+            except sqlite3.Error:
+                return 0
 
     def _delete(self, fingerprint: str, ckey: bytes) -> None:
         try:
@@ -215,47 +346,65 @@ class DiskResultCache:
         except sqlite3.Error:
             pass
 
-    def clear(self) -> None:
-        if self._conn is None:
-            return
-        try:
-            self._conn.execute("DELETE FROM results")
-            self._conn.commit()
-        except sqlite3.Error:
-            pass
-
-    def close(self) -> None:
-        if self._conn is not None:
+    def total_bytes(self) -> int:
+        """Summed pickled-value bytes currently stored."""
+        with self._lock:
+            if self._conn is None:
+                return 0
             try:
-                self._conn.close()
+                return int(
+                    self._conn.execute(
+                        "SELECT COALESCE(SUM(size), 0) FROM results"
+                    ).fetchone()[0]
+                )
+            except sqlite3.Error:
+                return 0
+
+    def clear(self) -> None:
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                self._conn.execute("DELETE FROM results")
+                self._conn.commit()
             except sqlite3.Error:
                 pass
-            self._conn = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
 
     def __len__(self) -> int:
-        if self._conn is None:
-            return 0
-        try:
-            return int(
-                self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
-            )
-        except sqlite3.Error:
-            return 0
+        with self._lock:
+            if self._conn is None:
+                return 0
+            try:
+                return int(
+                    self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+                )
+            except sqlite3.Error:
+                return 0
 
     def __contains__(self, key: Hashable) -> bool:
-        if self._conn is None:
-            return False
-        fingerprint, ckey = self._split(key)
-        try:
-            return (
-                self._conn.execute(
-                    "SELECT 1 FROM results WHERE fingerprint = ? AND ckey = ?",
-                    (fingerprint, ckey),
-                ).fetchone()
-                is not None
-            )
-        except sqlite3.Error:
-            return False
+        with self._lock:
+            if self._conn is None:
+                return False
+            fingerprint, ckey = self._split(key)
+            try:
+                return (
+                    self._conn.execute(
+                        "SELECT 1 FROM results WHERE fingerprint = ? AND ckey = ?",
+                        (fingerprint, ckey),
+                    ).fetchone()
+                    is not None
+                )
+            except sqlite3.Error:
+                return False
 
 
 class TieredResultCache:

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from ..core.miner import GRMiner, MinerConfig
@@ -52,7 +52,7 @@ from ..parallel.worker import ShardTask
 from .cache import ResultCache
 from .request import MineRequest
 
-__all__ = ["EngineStats", "MiningEngine"]
+__all__ = ["EngineStats", "MiningEngine", "PreparedQuery"]
 
 
 @dataclass
@@ -88,20 +88,46 @@ class EngineStats:
         }
 
 
-class _PooledJob:
-    """Bookkeeping for one in-flight pooled query within a sweep."""
+@dataclass
+class PreparedQuery:
+    """The planned-but-not-yet-executed front half of one query.
 
-    __slots__ = ("index", "key", "config", "plan", "tasks", "bus", "pending", "started")
+    Splitting a query into *prepare* (cache lookup, branch planning,
+    shard construction, bus checkout — all coordinator-side and quick)
+    and *execute* (shard tasks on the fleet, gather, merge) is what lets
+    the :mod:`repro.serve` scheduler own submission order: it prepares
+    many jobs, then feeds their ``tasks`` to the shared fleet one slot
+    at a time under its own priority / fairness policy, calling
+    :meth:`MiningEngine.finish` once every shard settled.
 
-    def __init__(self, index, key, config, plan, tasks, bus):
-        self.index = index
-        self.key = key
-        self.config = config
-        self.plan = plan
-        self.tasks = tasks
-        self.bus = bus
-        self.pending = None
-        self.started = 0.0
+    ``mode`` is one of:
+
+    * ``"cached"`` — ``result`` already holds the answer;
+    * ``"serial"`` — run on the coordinator via
+      :meth:`MiningEngine.execute_prepared`;
+    * ``"inline"`` — single-shard / ``workers=1``: same call, runs the
+      shard machinery in-process;
+    * ``"pooled"`` — submit ``tasks`` to the worker fleet, gather the
+      :class:`~repro.parallel.worker.ShardResult`\\ s, then
+      :meth:`MiningEngine.finish`.
+
+    A prepared query holding a ``bus`` owns that checkout until
+    :meth:`MiningEngine.release_bus` — which must only happen after
+    every submitted shard settled (a straggler would otherwise publish
+    stale floors into whichever query acquires the segment next).
+    """
+
+    request: MineRequest
+    key: tuple
+    mode: str
+    result: MiningResult | None = None
+    config: MinerConfig | None = None
+    plan: object = None
+    tasks: tuple[ShardTask, ...] = ()
+    bus: object = None
+    started: float = 0.0
+    #: ``AsyncResult``s of submitted tasks (the blocking sweep path).
+    pending: list = field(default_factory=list)
 
 
 class MiningEngine:
@@ -200,14 +226,11 @@ class MiningEngine:
             for req in requests
         ]
         results: list[MiningResult | None] = [None] * len(requests)
-        serial_misses: list[tuple[int, MineRequest, tuple]] = []
-        pooled_misses: list[tuple[int, MineRequest, tuple]] = []
+        misses: list[tuple[int, MineRequest, tuple]] = []
         inflight: dict[tuple, int] = {}  # canonical key -> first index mining it
         for i, request in enumerate(requests):
             self.stats.queries += 1
-            key = (self.fingerprint, request.canonical_key(
-                self.network.schema, self.network.num_edges
-            ))
+            key = self.query_key(request)
             cached = self._cache.get(key)
             if cached is not None:
                 self.stats.cache_hits += 1
@@ -223,12 +246,9 @@ class MiningEngine:
                 continue
             self.stats.cache_misses += 1
             inflight[key] = i
-            if request.workers is None:
-                serial_misses.append((i, request, key))
-            else:
-                pooled_misses.append((i, request, key))
+            misses.append((i, request, key))
 
-        jobs, inline_jobs = self._dispatch_pooled(pooled_misses)
+        jobs = self._dispatch_pooled(misses)
 
         # Coordinator-side work while the fleet churns on pooled shards.
         # One failing query must not stop the others: every pooled job
@@ -238,21 +258,18 @@ class MiningEngine:
         # segment next), completed work is cached, and the first error
         # is re-raised at the end.
         errors: list[BaseException] = []
-        for i, request, key in serial_misses:
+        for i, prepared in jobs:
+            if prepared.mode == "pooled":
+                continue  # gathered below, after the coordinator's work
             try:
-                result = self._mine_serial(request)
-                self._cache.put(key, result)
-                results[i] = result
+                results[i] = self.execute_prepared(prepared)
             except BaseException as exc:
                 errors.append(exc)
-        for job in inline_jobs:
+        for i, prepared in jobs:
+            if prepared.mode != "pooled":
+                continue
             try:
-                results[job.index] = self._finish_inline(job)
-            except BaseException as exc:
-                errors.append(exc)
-        for job in jobs:
-            try:
-                results[job.index] = self._gather(job)
+                results[i] = self._gather(prepared)
             except BaseException as exc:
                 errors.append(exc)
         if errors:
@@ -264,130 +281,202 @@ class MiningEngine:
         ]
 
     # ------------------------------------------------------------------
-    # Pooled execution
+    # Prepare / execute split (the non-blocking hooks repro.serve uses)
+    # ------------------------------------------------------------------
+    def query_key(self, request: MineRequest) -> tuple:
+        """The result-cache identity of ``request`` over this store."""
+        return (self.fingerprint, request.canonical_key(
+            self.network.schema, self.network.num_edges
+        ))
+
+    def prepare(self, request: MineRequest) -> PreparedQuery:
+        """The front half of one query: cache lookup, planning, sharding.
+
+        Returns a :class:`PreparedQuery` whose ``mode`` tells the caller
+        how to run the back half — a ``"cached"`` result is already
+        final, ``"serial"``/``"inline"`` run via
+        :meth:`execute_prepared`, and ``"pooled"`` tasks are the
+        caller's to submit (in any interleaving) before :meth:`finish`.
+        Stats are counted here, so a scheduler-served query shows up in
+        :class:`EngineStats` exactly like a ``sweep()``-served one.
+        """
+        self._ensure_open()
+        self.stats.queries += 1
+        key = self.query_key(request)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            cached.params["cached"] = True
+            return PreparedQuery(request=request, key=key, mode="cached", result=cached)
+        self.stats.cache_misses += 1
+        return self.plan_query(request, key)
+
+    def plan_query(self, request: MineRequest, key: tuple) -> PreparedQuery:
+        """Plan one cache-missed query into an executable form.
+
+        Serial requests defer all work to execution; pooled requests pay
+        branch planning, sharding, the bus checkout and the store-handle
+        resolution here, so their tasks can be dispatched without
+        touching the engine again.
+        """
+        if request.workers is None:
+            return PreparedQuery(
+                request=request, key=key, mode="serial", config=request.to_config()
+            )
+        config = request.to_config()
+        plan = self._armed_skeleton(config).plan_branches()
+        workers = min(request.workers, self.workers)
+        if request.workers > self.workers and not self._warned_clamp:
+            # Once per engine (and per hub network): a sweep of N
+            # over-asking requests is one misconfiguration, not N.
+            self._warned_clamp = True
+            warnings.warn(
+                f"request asked for workers={request.workers} but the "
+                f"engine's fleet has {self.workers}; clamping (further "
+                "clamped requests on this engine stay silent)",
+                stacklevel=3,
+            )
+        warn_if_overprovisioned(workers, len(plan.branches))
+        shards = plan_shards(plan.branches, workers)
+        pooled = len(shards) > 1 and workers > 1
+        bus = None
+        if pooled and config.push_topk and config.k is not None:
+            bus = self._bus_pool().acquire()
+        # Inline shards run on this process's own store; pooled ones
+        # carry the lease handle so any fleet — including a shared,
+        # store-agnostic hub fleet — can attach the right data.
+        store_handle = self._task_store_handle() if pooled else None
+        tasks = tuple(
+            ShardTask(
+                shard_id=j,
+                branches=branches,
+                config=config,
+                bus_handle=bus.handle() if bus is not None else None,
+                store_handle=store_handle,
+            )
+            for j, branches in enumerate(shards)
+        )
+        return PreparedQuery(
+            request=request,
+            key=key,
+            mode="pooled" if pooled else "inline",
+            config=config,
+            plan=plan,
+            tasks=tasks,
+            bus=bus,
+        )
+
+    def execute_prepared(self, prepared: PreparedQuery) -> MiningResult:
+        """Run a cached / serial / inline prepared query to completion."""
+        if prepared.mode == "cached":
+            return prepared.result
+        if prepared.mode == "serial":
+            result = self._mine_serial(prepared.request)
+            self._cache.put(prepared.key, result)
+            return result
+        if prepared.mode == "inline":
+            prepared.started = time.perf_counter()
+            shard_results = execute_shards_inline(
+                self._armed_skeleton(prepared.config), prepared.tasks
+            )
+            return self.finish(prepared, shard_results)
+        raise ValueError(
+            "pooled queries are executed by submitting prepared.tasks to "
+            "the fleet and calling finish() with the gathered shard results"
+        )
+
+    def finish(self, prepared: PreparedQuery, shard_results) -> MiningResult:
+        """Merge a pooled/inline query's shard results and cache it.
+
+        Gather order does not matter (the merge is a total-order reduce
+        and the stats are sums); results are normalized by shard id so
+        the scheduler's completion-order collection is equivalent to the
+        sweep's submission-order one.
+        """
+        shard_results = sorted(shard_results, key=lambda r: r.shard_id)
+        entries, stats = merge_shard_results(
+            shard_results, prepared.config, prepared.plan.pruned_by_support
+        )
+        stats.runtime_seconds = time.perf_counter() - prepared.started
+        params = self._armed_skeleton(prepared.config)._params()
+        params.update(
+            workers=len(prepared.tasks),
+            shards=len(prepared.tasks),
+            start_method=self.start_method,
+            engine=self.fingerprint,
+        )
+        result = MiningResult(grs=entries, stats=stats, params=params)
+        self._cache.put(prepared.key, result)
+        return result
+
+    def release_bus(self, prepared: PreparedQuery) -> None:
+        """Return a prepared query's bus checkout (idempotent).
+
+        Only safe once every submitted shard of the query has settled —
+        or before any was submitted at all.
+        """
+        if prepared.bus is not None:
+            self._bus_pool().release(prepared.bus)
+            prepared.bus = None
+
+    # ------------------------------------------------------------------
+    # Pooled execution (the blocking sweep path)
     # ------------------------------------------------------------------
     def _dispatch_pooled(self, misses):
-        """Plan every pooled miss and interleave task submission."""
-        jobs: list[_PooledJob] = []
-        inline_jobs: list[_PooledJob] = []
+        """Plan every miss and interleave pooled task submission."""
+        jobs: list[tuple[int, PreparedQuery]] = []
         try:
-            self._plan_pooled(misses, jobs, inline_jobs)
+            for i, request, key in misses:
+                jobs.append((i, self.plan_query(request, key)))
         except BaseException:
             # Nothing has been submitted yet, so buses acquired for the
             # jobs planned so far are clean and safe to recycle.
-            for job in jobs + inline_jobs:
-                if job.bus is not None:
-                    self._bus_pool().release(job.bus)
-                    job.bus = None
+            for _, prepared in jobs:
+                self.release_bus(prepared)
             raise
 
-        if jobs:
+        pooled = [prepared for _, prepared in jobs if prepared.mode == "pooled"]
+        if pooled:
             try:
                 pool = self._ensure_pool()
-                for job in jobs:
-                    job.started = time.perf_counter()
-                    job.pending = []
+                for prepared in pooled:
+                    prepared.started = time.perf_counter()
                 # Round-robin over jobs so every query progresses at once.
-                cursors = [iter(job.tasks) for job in jobs]
-                live = list(range(len(jobs)))
+                cursors = [iter(prepared.tasks) for prepared in pooled]
+                live = list(range(len(pooled)))
                 while live:
                     still = []
                     for j in live:
                         task = next(cursors[j], None)
                         if task is None:
                             continue
-                        jobs[j].pending.append(pool.submit(task))
+                        pooled[j].pending.append(pool.submit(task))
                         still.append(j)
                     live = still
             except BaseException:
                 # A bus is only recyclable when none of its query's tasks
                 # reached the pool; buses with in-flight shards stay
                 # checked out (reclaimed at close()).
-                for job in jobs:
-                    if job.bus is not None and not job.pending:
-                        self._bus_pool().release(job.bus)
-                        job.bus = None
+                for prepared in pooled:
+                    if not prepared.pending:
+                        self.release_bus(prepared)
                 raise
-        return jobs, inline_jobs
+        return jobs
 
-    def _plan_pooled(self, misses, jobs, inline_jobs):
-        for i, request, key in misses:
-            config = request.to_config()
-            plan = self._armed_skeleton(config).plan_branches()
-            workers = min(request.workers, self.workers)
-            if request.workers > self.workers and not self._warned_clamp:
-                # Once per engine (and per hub network): a sweep of N
-                # over-asking requests is one misconfiguration, not N.
-                self._warned_clamp = True
-                warnings.warn(
-                    f"request asked for workers={request.workers} but the "
-                    f"engine's fleet has {self.workers}; clamping (further "
-                    "clamped requests on this engine stay silent)",
-                    stacklevel=3,
-                )
-            warn_if_overprovisioned(workers, len(plan.branches))
-            shards = plan_shards(plan.branches, workers)
-            pooled = len(shards) > 1 and workers > 1
-            bus = None
-            if pooled and config.push_topk and config.k is not None:
-                bus = self._bus_pool().acquire()
-            # Inline shards run on this process's own store; pooled ones
-            # carry the lease handle so any fleet — including a shared,
-            # store-agnostic hub fleet — can attach the right data.
-            store_handle = self._task_store_handle() if pooled else None
-            tasks = [
-                ShardTask(
-                    shard_id=j,
-                    branches=branches,
-                    config=config,
-                    bus_handle=bus.handle() if bus is not None else None,
-                    store_handle=store_handle,
-                )
-                for j, branches in enumerate(shards)
-            ]
-            job = _PooledJob(i, key, config, plan, tasks, bus)
-            (jobs if pooled else inline_jobs).append(job)
-
-    def _finish_inline(self, job: _PooledJob) -> MiningResult:
-        """Run a single-shard / workers=1 'pooled' query in-process."""
-        started = time.perf_counter()
-        shard_results = execute_shards_inline(
-            self._armed_skeleton(job.config), job.tasks
-        )
-        return self._complete(job, shard_results, started)
-
-    def _gather(self, job: _PooledJob) -> MiningResult:
+    def _gather(self, prepared: PreparedQuery) -> MiningResult:
         shard_results = []
         errors: list[BaseException] = []
-        for pending in job.pending:
+        for pending in prepared.pending:
             try:
                 shard_results.append(pending.get())
             except BaseException as exc:
                 errors.append(exc)
         # Every shard has now settled — no straggler can publish to the
         # bus anymore — so recycling it for the next query is safe.
-        if job.bus is not None:
-            self._bus_pool().release(job.bus)
-            job.bus = None
+        self.release_bus(prepared)
         if errors:
             raise errors[0]
-        return self._complete(job, shard_results, job.started)
-
-    def _complete(self, job: _PooledJob, shard_results, started) -> MiningResult:
-        entries, stats = merge_shard_results(
-            shard_results, job.config, job.plan.pruned_by_support
-        )
-        stats.runtime_seconds = time.perf_counter() - started
-        params = self._armed_skeleton(job.config)._params()
-        params.update(
-            workers=len(job.tasks),
-            shards=len(job.tasks),
-            start_method=self.start_method,
-            engine=self.fingerprint,
-        )
-        result = MiningResult(grs=entries, stats=stats, params=params)
-        self._cache.put(job.key, result)
-        return result
+        return self.finish(prepared, shard_results)
 
     # ------------------------------------------------------------------
     # Serial execution
@@ -494,15 +583,22 @@ class MiningEngine:
     def closed(self) -> bool:
         return self._closed
 
-    def close(self) -> None:
+    def close(self, force: bool = False) -> None:
         """Release the pool, the buses and the store lease (idempotent).
 
-        Safe to call after a worker crashed mid-query: the pool is torn
-        down hard, and the lease's guaranteed unlink keeps ``/dev/shm``
-        clean either way.
+        Closing while pooled shard tasks are still in flight fails fast
+        with a :class:`RuntimeError` instead of tearing the fleet down
+        under a gatherer: terminating the pool would leave whoever is
+        blocked in ``AsyncResult.get()`` waiting forever and strand the
+        query's bus checkout.  Drain or cancel the in-flight queries
+        first, or pass ``force=True`` to accept the hard teardown (the
+        path ``__exit__`` takes when an exception is already unwinding —
+        after a worker crash mid-query the pool is torn down hard and
+        the lease's guaranteed unlink keeps ``/dev/shm`` clean).
         """
         if self._closed:
             return
+        self._guard_inflight(force, "MiningEngine")
         self._closed = True
         if self._pool is not None:
             self._pool.terminate()
@@ -514,11 +610,26 @@ class MiningEngine:
         if self._owns_cache:
             self._cache.close()
 
+    def _guard_inflight(self, force: bool, who: str) -> None:
+        if force or self._pool is None:
+            return
+        inflight = self._pool.inflight
+        if inflight > 0:
+            raise RuntimeError(
+                f"{who}.close() with {inflight} pooled shard task(s) still "
+                "in flight — terminating the fleet now would block their "
+                "gatherer forever and leak the query's threshold bus; "
+                "drain or cancel the in-flight queries first, or call "
+                "close(force=True) for a hard teardown"
+            )
+
     def __enter__(self) -> "MiningEngine":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc) -> None:
+        # An unwinding exception may have left shards in flight (that is
+        # precisely the crash-cleanup path), so the guard is waived.
+        self.close(force=exc_type is not None)
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else (

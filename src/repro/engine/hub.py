@@ -124,6 +124,10 @@ class EngineHub:
     disk_cache:
         Optional path to a sqlite file persisting the result cache
         across processes (:class:`~repro.engine.cache.DiskResultCache`).
+    disk_cache_max_bytes, disk_cache_ttl_seconds:
+        Bound the disk tier: LRU-by-``last_used`` eviction over the
+        byte cap, expiry of entries unused for the TTL window.  Both
+        default to unbounded (the pre-eviction behavior).
     lease_budget_bytes:
         Soft cap on the summed size of resident shared-memory store
         exports; exceeding it evicts least-recently-served leases
@@ -139,6 +143,8 @@ class EngineHub:
         threshold_refresh: int = 64,
         cache_size: int = 256,
         disk_cache: str | os.PathLike | None = None,
+        disk_cache_max_bytes: int | None = None,
+        disk_cache_ttl_seconds: float | None = None,
         lease_budget_bytes: int | None = None,
     ) -> None:
         if lease_budget_bytes is not None and lease_budget_bytes <= 0:
@@ -149,12 +155,22 @@ class EngineHub:
         self.lease_budget_bytes = lease_budget_bytes
         memory = ResultCache(cache_size)
         self.cache = (
-            TieredResultCache(memory, DiskResultCache(disk_cache))
+            TieredResultCache(
+                memory,
+                DiskResultCache(
+                    disk_cache,
+                    max_bytes=disk_cache_max_bytes,
+                    ttl_seconds=disk_cache_ttl_seconds,
+                ),
+            )
             if disk_cache is not None
             else memory
         )
         self._engines: dict[str, _HubEngine] = {}
         self._leases: "OrderedDict[str, SharedStoreLease]" = OrderedDict()
+        #: Pin refcounts per network (see :meth:`pin_lease`) — pinned
+        #: leases are exempt from budget eviction.
+        self._lease_pins: dict[str, int] = {}
         self._pool: PersistentWorkerPool | None = None
         self._buses: BusPool | None = None
         #: Fleet spawns performed (≤ 1 per hub lifetime).
@@ -282,10 +298,44 @@ class EngineHub:
             and sum(lease.size for lease in self._leases.values())
             > self.lease_budget_bytes
         ):
-            # Walk from least-recently-served, skipping the in-flight one.
-            victim = next(name for name in self._leases if name != keep)
+            # Walk from least-recently-served, skipping the in-flight
+            # network and any network pinned by concurrent serving (its
+            # queued shard tasks still address the lease's segment, so
+            # unlinking it would fail their attach).  All-pinned over
+            # budget degrades to a soft cap rather than breaking a job.
+            victim = next(
+                (
+                    name
+                    for name in self._leases
+                    if name != keep and self._lease_pins.get(name, 0) == 0
+                ),
+                None,
+            )
+            if victim is None:
+                return
             self._leases.pop(victim).close()
             self.lease_evictions += 1
+
+    def pin_lease(self, name: str) -> None:
+        """Exempt ``name``'s lease from budget eviction (refcounted).
+
+        The :mod:`repro.serve` scheduler pins a network while it has
+        admitted jobs: their already-built shard tasks carry the current
+        lease's segment name, and an eviction in between — triggered by
+        an interleaved job *preparing* on another network — would unlink
+        the segment out from under them.  Pins nest; they do not create
+        leases and survive ``append_edges`` retiring one (the pin then
+        guards whatever lease the network's next export produces).
+        """
+        self._lease_pins[name] = self._lease_pins.get(name, 0) + 1
+
+    def unpin_lease(self, name: str) -> None:
+        """Drop one pin for ``name`` (the lease becomes evictable at 0)."""
+        count = self._lease_pins.get(name, 0) - 1
+        if count > 0:
+            self._lease_pins[name] = count
+        else:
+            self._lease_pins.pop(name, None)
 
     def resident_networks(self) -> list[str]:
         """Networks whose store export is currently mapped, LRU order."""
@@ -323,13 +373,27 @@ class EngineHub:
     def closed(self) -> bool:
         return self._closed
 
-    def close(self) -> None:
-        """Release the fleet, buses, every lease and the cache (idempotent)."""
+    def close(self, force: bool = False) -> None:
+        """Release the fleet, buses, every lease and the cache (idempotent).
+
+        Like :meth:`MiningEngine.close`, closing while pooled shard
+        tasks are in flight on the shared fleet raises instead of
+        deadlocking their gatherer; ``force=True`` (and the exception-
+        unwinding ``with`` exit) tears down hard regardless.
+        """
         if self._closed:
             return
+        if not force and self._pool is not None and self._pool.inflight > 0:
+            raise RuntimeError(
+                f"EngineHub.close() with {self._pool.inflight} pooled shard "
+                "task(s) still in flight — terminating the shared fleet now "
+                "would block their gatherer forever and leak the query's "
+                "threshold bus; drain or cancel the in-flight queries "
+                "first, or call close(force=True) for a hard teardown"
+            )
         self._closed = True
         for engine in self._engines.values():
-            engine.close()  # per-engine state; shared resources below
+            engine.close(force=True)  # per-engine state; shared resources below
         if self._pool is not None:
             self._pool.terminate()
             self._pool = None
@@ -339,13 +403,14 @@ class EngineHub:
         for lease in self._leases.values():
             lease.close()
         self._leases.clear()
+        self._lease_pins.clear()
         self.cache.close()
 
     def __enter__(self) -> "EngineHub":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc) -> None:
+        self.close(force=exc_type is not None)
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else (

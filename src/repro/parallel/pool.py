@@ -21,7 +21,8 @@ long-lived :class:`~repro.engine.MiningEngine` pays the former once:
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Sequence
+import threading
+from typing import Callable, Sequence
 
 from ..data.store import SharedStoreHandle
 from .bus import ThresholdBus
@@ -77,18 +78,62 @@ class PersistentWorkerPool:
             initializer=initialize_worker,
             initargs=(store_handle, threshold_refresh),
         )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
-    def submit(self, task: ShardTask):
+    @property
+    def inflight(self) -> int:
+        """Shard tasks submitted but not yet settled.
+
+        Settled means the result (or error) arrived back from the fleet,
+        whether or not anyone has ``get()``'d it.  A nonzero count at
+        ``close()`` time means someone is still waiting on the pool —
+        tearing it down then would leave that waiter blocked forever,
+        which is why the engine and hub fail fast instead.
+        """
+        with self._inflight_lock:
+            return self._inflight
+
+    def _settle(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    def submit(
+        self,
+        task: ShardTask,
+        callback: Callable | None = None,
+        error_callback: Callable | None = None,
+    ):
         """Dispatch one shard task; returns its ``AsyncResult``.
 
         Submission order is execution order — the engine interleaves
         tasks from concurrent queries by submitting them round-robin.
+        The optional callbacks fire on the pool's result-handler thread
+        the moment the shard settles (before any ``get()``), which is
+        the non-blocking completion hook the ``repro.serve`` scheduler
+        builds its slot accounting on.  Callbacks must be quick and must
+        not raise.
         """
         if self._closed:
             raise RuntimeError("worker pool is closed")
-        return self._pool.apply_async(run_shard, (task,))
+        with self._inflight_lock:
+            self._inflight += 1
+
+        def _done(result):
+            self._settle()
+            if callback is not None:
+                callback(result)
+
+        def _err(exc):
+            self._settle()
+            if error_callback is not None:
+                error_callback(exc)
+
+        return self._pool.apply_async(
+            run_shard, (task,), callback=_done, error_callback=_err
+        )
 
     def run_query(self, tasks: Sequence[ShardTask]) -> list[ShardResult]:
         """Dispatch one query's tasks and gather its shard results."""

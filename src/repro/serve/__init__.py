@@ -1,0 +1,43 @@
+"""repro.serve — the async serving front over one :class:`EngineHub`.
+
+The hub made many networks share one fleet; this layer makes many
+*concurrent users* share it.  A :class:`Scheduler` owns the fleet's
+in-flight slots and admits shard tasks from every submitted
+:class:`ServeJob` through strict priorities and weighted-fair
+per-network interleaving, so a bulk sweep on one network no longer
+blocks a single query on another.  Jobs support deadlines and
+cooperative cancellation (stop submitting, drain in-flight shards,
+recycle the bus); answers stay GR-for-GR equal to a direct
+``hub.mine()`` under any interleaving because the execution machinery —
+prepare, shard, merge, cache — is the engine's own.
+
+:class:`ServeHTTP` puts the scheduler on a wire (stdlib-only HTTP/JSON:
+mine, sweep, append_edges, job status/cancel, stats); ``repro serve``
+is the CLI entry.
+
+>>> import asyncio
+>>> from repro.datasets.toy import toy_dating_network
+>>> from repro.engine import EngineHub
+>>> from repro.serve import Scheduler
+>>> async def demo():
+...     with EngineHub(workers=1) as hub:
+...         hub.register("toy", toy_dating_network())
+...         async with Scheduler(hub) as scheduler:
+...             job = scheduler.submit("toy", k=5, min_support=2, min_nhp=0.5)
+...             return await job
+>>> len(asyncio.run(demo())) <= 5
+True
+"""
+
+from .http import ServeHTTP, result_payload
+from .job import JobCancelled, JobState, ServeJob
+from .scheduler import Scheduler
+
+__all__ = [
+    "JobCancelled",
+    "JobState",
+    "Scheduler",
+    "ServeHTTP",
+    "ServeJob",
+    "result_payload",
+]

@@ -1,0 +1,152 @@
+"""ServeJob — one admitted mining request, owned by a :class:`Scheduler`.
+
+A job is the serving-layer sibling of
+:class:`~repro.engine.request.MineRequest`: the request says *what* to
+mine, the job says *how it competes* for the shared fleet — its
+``priority`` (strict: higher always dispatches first), its optional
+``deadline_s`` (expired jobs self-cancel), and its cooperative
+cancellation handle.  Awaiting a job yields its
+:class:`~repro.core.results.MiningResult`; a cancelled or expired job
+raises :class:`JobCancelled` instead.
+
+Jobs move through :class:`JobState`:
+
+``PENDING`` → ``READY`` (prepared; shard tasks queued for the fleet) →
+``RUNNING`` (shards in flight, or serial/inline execution underway) →
+one of ``DONE`` / ``FAILED`` / ``CANCELLED`` / ``EXPIRED``.
+
+Cache hits skip straight from ``PENDING`` to ``DONE``.  Cancellation is
+cooperative at shard granularity: a cancelled job submits no further
+shards, its in-flight shards drain (their results are discarded), and
+only then is its threshold bus recycled — the same settle-before-release
+invariant the blocking sweep upholds, which is what keeps a cancelled
+job from ever polluting another job's dynamic thresholds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from collections import deque
+
+from ..engine.request import MineRequest
+
+__all__ = ["JobCancelled", "JobState", "ServeJob"]
+
+
+class JobState(str, enum.Enum):
+    PENDING = "pending"
+    READY = "ready"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    EXPIRED = "expired"
+
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.EXPIRED}
+)
+
+
+class JobCancelled(Exception):
+    """Awaited job was cancelled (``reason='deadline'`` when it expired)."""
+
+    def __init__(self, job_id: str, reason: str = "cancelled") -> None:
+        super().__init__(f"job {job_id} {reason}")
+        self.job_id = job_id
+        self.reason = reason
+
+
+class ServeJob:
+    """One request admitted to the serving scheduler.
+
+    Not constructed directly — :meth:`Scheduler.submit` returns these.
+    ``await job`` (or ``await job.result()``) yields the mining result;
+    :meth:`cancel` is safe from any thread.
+    """
+
+    def __init__(
+        self,
+        scheduler,
+        job_id: str,
+        network: str,
+        request: MineRequest,
+        priority: int,
+        deadline_s: float | None,
+    ) -> None:
+        self._scheduler = scheduler
+        self.id = job_id
+        self.network = network
+        self.request = request
+        self.priority = priority
+        self.deadline_s = deadline_s
+        self.state = JobState.PENDING
+        self.cancel_requested = False
+        self.cancel_reason: str | None = None
+        #: Fleet-slot accounting (scheduler-owned, event-loop thread only).
+        self.seq: int = 0
+        self.future: asyncio.Future = scheduler._loop.create_future()
+        self.submitted_at: float = scheduler._loop.time()
+        self.finished_at: float | None = None
+        self.shards_total: int = 0
+        self.shards_done: int = 0
+        self.cached: bool = False
+        self._prepared = None
+        self._queue: deque = deque()
+        self._inflight: int = 0
+        self._shard_results: list = []
+        self._error: BaseException | None = None
+        self._pinned: bool = False
+        self._finalized: bool = False
+        #: True while the admitter owns the job (prepare or coordinator
+        #: execution in progress) — cancellation then defers to it.
+        self._executing: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cooperative cancellation (idempotent, thread-safe).
+
+        Takes effect at the next scheduling point: no further shards are
+        submitted, in-flight ones drain and are discarded, the job's bus
+        is recycled after the drain, and awaiting the job raises
+        :class:`JobCancelled`.  A job whose result is already final is
+        left untouched; a serial/inline execution already running on the
+        coordinator cannot be interrupted, but its job still resolves as
+        cancelled.
+        """
+        self._scheduler._request_cancel(self, reason)
+
+    async def result(self):
+        """The mining result (raises ``JobCancelled`` / the job's error)."""
+        return await asyncio.shield(self.future)
+
+    def __await__(self):
+        return self.result().__await__()
+
+    def describe(self) -> dict:
+        """JSON-ready status snapshot (the HTTP facade's job view)."""
+        return {
+            "id": self.id,
+            "network": self.network,
+            "request": self.request.describe(),
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
+            "state": self.state.value,
+            "cached": self.cached,
+            "shards_total": self.shards_total,
+            "shards_done": self.shards_done,
+            "cancel_reason": self.cancel_reason,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ServeJob({self.id}, network={self.network!r}, "
+            f"priority={self.priority}, {self.state.value}, "
+            f"shards={self.shards_done}/{self.shards_total})"
+        )

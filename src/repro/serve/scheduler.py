@@ -1,0 +1,699 @@
+"""Scheduler — priority + weighted-fair shard interleaving over one fleet.
+
+The blocking :class:`~repro.engine.EngineHub` is single-coordinator: one
+``sweep()`` owns the fleet until it returns, so a 50-point sweep on
+network A blocks a 1-query user on network B.  The scheduler inverts
+that ownership — *it* holds the fleet's in-flight slots and feeds them
+one shard task at a time, picked from every admitted job:
+
+* **Strict priorities.**  A ready shard of a higher-priority job always
+  dispatches before any lower-priority one (priorities are ints, higher
+  wins; starvation of low priorities under sustained high-priority load
+  is accepted and documented).
+* **Weighted-fair interleaving per network.**  Within a priority level,
+  networks take turns by stride scheduling: serving a shard of network
+  ``n`` advances ``vtime[n] += 1 / weight[n]``, and the network with the
+  lowest virtual time goes next, so a bulk sweep and a single query on
+  two networks make progress proportional to their weights instead of
+  FIFO.  A network waking from idle is clamped to the active minimum so
+  it cannot burst through accumulated credit.
+* **Cooperative cancellation and deadlines.**  Cancelled jobs stop
+  submitting shards, drain in-flight ones (results discarded) and only
+  then recycle their threshold bus — the settle-before-release invariant
+  that keeps a dead query's stale floors out of whichever query gets the
+  bus next.  ``deadline_s`` arms a timer that cancels with reason
+  ``"deadline"`` (state ``EXPIRED``).
+
+Exactness is inherited, not reimplemented: jobs run through the same
+:meth:`~repro.engine.MiningEngine.prepare` /
+:meth:`~repro.engine.MiningEngine.finish` machinery as the blocking
+sweep (per-job buses, fingerprint-keyed result cache), and the merge is
+gather-order independent, so any interleaving the scheduler produces
+yields GR-for-GR the answer of a direct ``hub.mine()``.
+
+Threading model — three actors, strict ownership:
+
+* the **asyncio event loop** owns every scheduling decision and all
+  scheduler/job state (shard completions are marshalled onto it);
+* one **coordinator thread** (a 1-thread executor) owns all
+  engine-internal mutable state — planning skeletons, bus checkouts,
+  leases and pins, the result cache, serial/inline execution — i.e. the
+  role the blocking hub's calling thread used to play;
+* the **worker fleet** (processes) owns mining, exactly as before.
+
+While a scheduler serves a hub, route all traffic through it: calling
+the blocking ``hub.mine()`` / ``hub.sweep()`` concurrently from another
+thread would race the coordinator on engine internals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Mapping
+
+from ..core.results import MiningResult
+from ..engine.hub import EngineHub
+from ..engine.request import MineRequest
+from .job import JobCancelled, JobState, ServeJob
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Serve many concurrent jobs over one :class:`EngineHub` fleet.
+
+    Parameters
+    ----------
+    hub:
+        The engine hub whose networks and worker fleet are served.  The
+        scheduler does not own the hub — closing the scheduler drains
+        jobs and stops serving but leaves the hub usable (and the
+        caller responsible for ``hub.close()``).
+    max_inflight:
+        Fleet slots the scheduler keeps occupied, i.e. the number of
+        shard tasks in flight at once; defaults to the hub's worker
+        count (one shard per worker — more would just queue inside the
+        pool, outside the scheduler's control).
+    prewarm:
+        Spawn the hub's worker fleet during :meth:`start` (default)
+        instead of lazily at the first pooled job.  A serving process
+        accepts sockets; forking the fleet later would hand every open
+        connection's descriptor to the children, whose copies keep
+        clients waiting for an EOF that never comes.  ``False`` restores
+        the lazy spawn for fleet-less (serial/cached-only) use.
+
+    Use as an async context manager (or ``await start()`` /
+    ``await close()``)::
+
+        async with Scheduler(hub) as scheduler:
+            bulk = [scheduler.submit("a", r) for r in sweep_requests]
+            urgent = scheduler.submit("b", request, priority=10)
+            result = await urgent          # jumps the bulk's queue
+            rest = await asyncio.gather(*bulk)
+    """
+
+    def __init__(
+        self,
+        hub: EngineHub,
+        max_inflight: int | None = None,
+        prewarm: bool = True,
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be positive (or None)")
+        self.hub = hub
+        self.prewarm = prewarm
+        self.slots = max_inflight if max_inflight is not None else hub.workers
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._coordinator = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-coordinator"
+        )
+        self._admit: asyncio.Queue | None = None
+        self._admitter: asyncio.Task | None = None
+        self._jobs: dict[str, ServeJob] = {}
+        self._retired: deque[str] = deque()
+        self.retain_jobs = 512
+        self._ready: list[ServeJob] = []
+        self._inflight_slots = 0
+        self._fleet = None
+        self._seq = itertools.count(1)
+        self._vtime: dict[str, float] = {}
+        self._weights: dict[str, float] = {}
+        self._shards_by_network: dict[str, int] = {}
+        self._active_by_network: dict[str, int] = {}
+        self._drain_waiters: dict[str, list[asyncio.Future]] = {}
+        #: Paused networks -> the submission seq at which the pause
+        #: began.  Jobs submitted before the pause pass through and are
+        #: drained; later ones park in the backlog until the delta lands.
+        self._paused: dict[str, int] = {}
+        self._backlog: dict[str, deque[ServeJob]] = {}
+        self._counters = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "expired": 0,
+            "cache_hit_jobs": 0,
+            "shards_dispatched": 0,
+            "shards_completed": 0,
+        }
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "Scheduler":
+        """Bind to the running event loop and start admitting jobs."""
+        if self._loop is not None:
+            raise RuntimeError("scheduler already started")
+        self._loop = asyncio.get_running_loop()
+        self._admit = asyncio.Queue()
+        self._admitter = self._loop.create_task(
+            self._admit_loop(), name="serve-admitter"
+        )
+        if self.prewarm:
+            self._fleet = await self._run_coord(self.hub._ensure_pool)
+        return self
+
+    async def close(self) -> None:
+        """Stop admitting, cancel outstanding jobs, drain in-flight shards.
+
+        After the drain the hub is left clean (no bus checkouts, no
+        lease pins) and open — the scheduler never owns it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for job in list(self._jobs.values()):
+            if not job.done:
+                self._request_cancel(job, "scheduler shutdown")
+        # Futures resolve only after each job's in-flight shards settled
+        # and its bus/pin were released on the coordinator.
+        pending = [job.future for job in self._jobs.values() if not job.done]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if self._admitter is not None:
+            self._admitter.cancel()
+            try:
+                await self._admitter
+            except asyncio.CancelledError:
+                pass
+            self._admitter = None
+        self._coordinator.shutdown(wait=True)
+
+    async def __aenter__(self) -> "Scheduler":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    def _ensure_serving(self) -> None:
+        if self._loop is None:
+            raise RuntimeError("scheduler not started — use 'async with' or start()")
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        network: str,
+        request: MineRequest | Mapping | None = None,
+        *,
+        priority: int = 0,
+        deadline_s: float | None = None,
+        **kwargs,
+    ) -> ServeJob:
+        """Admit one request; returns its :class:`ServeJob` immediately.
+
+        ``priority`` is strict (higher dispatches first); ``deadline_s``
+        is relative seconds after which the job self-cancels with state
+        ``EXPIRED``.  Keywords build the request inline, as on
+        ``engine.mine``.
+        """
+        self._ensure_serving()
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError("deadline_s must be non-negative (or None)")
+        if request is None:
+            request = MineRequest.create(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a request or keywords, not both")
+        elif not isinstance(request, MineRequest):
+            request = MineRequest.create(**dict(request))
+        self.hub.engine(network)  # unknown names fail at submit, not admit
+        seq = next(self._seq)
+        job = ServeJob(
+            self,
+            job_id=f"job-{seq:06d}",
+            network=network,
+            request=request,
+            priority=priority,
+            deadline_s=deadline_s,
+        )
+        job.seq = seq
+        self._jobs[job.id] = job
+        self._counters["submitted"] += 1
+        self._active_by_network[network] = (
+            self._active_by_network.get(network, 0) + 1
+        )
+        if network in self._paused:
+            self._backlog.setdefault(network, deque()).append(job)
+        else:
+            self._admit.put_nowait(job)
+        if deadline_s is not None:
+            self._loop.call_later(deadline_s, self._expire, job)
+        return job
+
+    async def mine(
+        self,
+        network: str,
+        request: MineRequest | Mapping | None = None,
+        *,
+        priority: int = 0,
+        deadline_s: float | None = None,
+        **kwargs,
+    ) -> MiningResult:
+        """Submit one request and await its result."""
+        return await self.submit(
+            network, request, priority=priority, deadline_s=deadline_s, **kwargs
+        )
+
+    async def sweep(
+        self,
+        network: str,
+        requests: Iterable[MineRequest | Mapping],
+        *,
+        priority: int = 0,
+        deadline_s: float | None = None,
+    ) -> list[MiningResult]:
+        """Submit a batch against one network and await all results.
+
+        Unlike the blocking ``hub.sweep``, the batch holds no monopoly
+        on the fleet: its shards interleave with every other admitted
+        job under the fairness policy.
+        """
+        jobs = [
+            self.submit(network, request, priority=priority, deadline_s=deadline_s)
+            for request in requests
+        ]
+        return list(await asyncio.gather(*jobs))
+
+    def job(self, job_id: str) -> ServeJob:
+        """Look up a (recent) job by id."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"no job {job_id!r} (retained: {self.retain_jobs})") from None
+
+    def set_weight(self, network: str, weight: float) -> None:
+        """Set a network's fair-share weight (default 1.0; higher = more
+        shard slots per scheduling round at equal priority)."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._weights[network] = float(weight)
+
+    # ------------------------------------------------------------------
+    # Mutation barrier
+    # ------------------------------------------------------------------
+    async def append_edges(self, network: str, src, dst, edge_codes=None) -> str:
+        """Apply an append-edge delta with a per-network drain barrier.
+
+        Admitted jobs hold shard tasks addressing the network's current
+        store export; mutating under them would unlink that segment (or
+        worse, serve half a query from each edge set).  The barrier
+        pauses *admission* for this network only (other networks keep
+        flowing; late submissions park in a backlog), waits for its
+        active jobs to finish, applies the delta on the coordinator,
+        then releases the backlog.  Returns the new fingerprint.
+        """
+        self._ensure_serving()
+        self.hub.engine(network)
+        if network in self._paused:
+            raise RuntimeError(f"append_edges already in progress for {network!r}")
+        self._paused[network] = next(self._seq)
+        try:
+            await self._drain_network(network)
+            return await self._run_coord(
+                self.hub.append_edges, network, src, dst, edge_codes
+            )
+        finally:
+            self._paused.pop(network, None)
+            backlog = self._backlog.pop(network, None)
+            if backlog:
+                for job in backlog:
+                    self._admit.put_nowait(job)
+
+    async def _drain_network(self, network: str) -> None:
+        if self._drainable_active(network) <= 0:
+            return
+        waiter = self._loop.create_future()
+        self._drain_waiters.setdefault(network, []).append(waiter)
+        await waiter
+
+    def _drainable_active(self, network: str) -> int:
+        """Live jobs the barrier must wait for: active minus parked ones
+        (backlogged jobs hold no shard tasks, pins or buses — they were
+        never prepared — so the delta may safely run over them)."""
+        parked = sum(
+            1 for j in self._backlog.get(network, ()) if not j.done
+        )
+        return self._active_by_network.get(network, 0) - parked
+
+    def _check_drain(self, network: str) -> None:
+        if self._drainable_active(network) <= 0:
+            for waiter in self._drain_waiters.pop(network, []):
+                if not waiter.done():
+                    waiter.set_result(None)
+
+    # ------------------------------------------------------------------
+    # Admission (prepare on the coordinator, classify, enqueue)
+    # ------------------------------------------------------------------
+    async def _admit_loop(self) -> None:
+        while True:
+            job: ServeJob = await self._admit.get()
+            if job.done:
+                continue  # cancelled while queued; already finalized
+            pause_seq = self._paused.get(job.network)
+            if pause_seq is not None and job.seq > pause_seq:
+                # Submitted after the barrier began: park until the
+                # delta lands (parked jobs block nothing — they hold no
+                # shards, pins or buses yet).  Jobs submitted *before*
+                # the pause fall through and are drained by the barrier,
+                # so everything admitted pre-delta sees the old edges.
+                self._backlog.setdefault(job.network, deque()).append(job)
+                self._check_drain(job.network)
+                continue
+            try:
+                await self._admit_one(job)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                if not job.done:
+                    job._error = exc
+                    await self._finalize(job)
+
+    async def _admit_one(self, job: ServeJob) -> None:
+        engine = self.hub.engine(job.network)
+        if job.cancel_requested:
+            await self._finalize(job)
+            return
+        # While the admitter owns the job (prepare, serial/inline
+        # execution), cancellation defers to the checkpoints below —
+        # a concurrent _finalize would release the bus/pin before the
+        # coordinator even handed them over.
+        job._executing = True
+        try:
+            prepared = await self._run_coord(self._prepare_sync, engine, job)
+            job._prepared = prepared
+            if job.cancel_requested:
+                await self._finalize(job)
+                return
+            if prepared.mode == "cached":
+                job.cached = True
+                self._counters["cache_hit_jobs"] += 1
+                await self._run_coord(self._release_sync, engine, job)
+                self._resolve(job, JobState.DONE, result=prepared.result)
+                return
+            if prepared.mode in ("serial", "inline"):
+                # Coordinator-bound execution: correct and simple, but
+                # it occupies the coordinator — a serving deployment
+                # should prefer pooled requests (workers >= 1).
+                # Uncancellable once started; the flag was checked above.
+                job.state = JobState.RUNNING
+                job.shards_total = max(len(prepared.tasks), 1)
+                try:
+                    result = await self._run_coord(
+                        engine.execute_prepared, prepared
+                    )
+                except BaseException as exc:
+                    job._error = exc
+                    await self._finalize(job)
+                    return
+                job.shards_done = job.shards_total
+                if job.cancel_requested:
+                    # The answer landed in the cache, but the contract
+                    # is uniform: a cancelled job yields no result.
+                    await self._finalize(job)
+                    return
+                await self._run_coord(self._release_sync, engine, job)
+                self._resolve(job, JobState.DONE, result=result)
+                return
+        finally:
+            job._executing = False
+        # Pooled: the scheduler owns submission from here on.
+        if self._fleet is None:
+            self._fleet = await self._run_coord(engine._ensure_pool)
+        if job.done:
+            return  # cancelled during the fleet spawn; already settled
+        if job.cancel_requested:
+            await self._finalize(job)
+            return
+        job._queue = deque(prepared.tasks)
+        job.shards_total = len(prepared.tasks)
+        job.state = JobState.READY
+        self._enter_ready(job)
+        self._fill_slots()
+
+    def _prepare_sync(self, engine, job: ServeJob):
+        # Runs on the coordinator thread.  The pin must precede the
+        # prepare: prepare resolves the store handle (possibly exporting
+        # a lease), and an interleaved prepare for another network must
+        # not budget-evict it while this job's tasks still address it.
+        self.hub.pin_lease(job.network)
+        job._pinned = True
+        return engine.prepare(job.request)
+
+    def _run_coord(self, fn, *args):
+        return self._loop.run_in_executor(self._coordinator, lambda: fn(*args))
+
+    # ------------------------------------------------------------------
+    # Slot scheduling (event-loop thread only)
+    # ------------------------------------------------------------------
+    def _enter_ready(self, job: ServeJob) -> None:
+        active = {j.network for j in self._ready}
+        active.update(
+            j.network
+            for j in self._jobs.values()
+            if j._inflight > 0 and not j.done
+        )
+        if job.network not in active:
+            # A network waking from idle must not burst through credit
+            # it accumulated while absent: clamp to the active minimum.
+            floor = min(
+                (self._vtime.get(n, 0.0) for n in active), default=0.0
+            )
+            self._vtime[job.network] = max(
+                self._vtime.get(job.network, 0.0), floor
+            )
+        self._ready.append(job)
+
+    def _pick(self) -> ServeJob | None:
+        """The next job to advance: priority, then fair share, then FIFO."""
+        best = None
+        best_rank = None
+        for job in self._ready:
+            rank = (-job.priority, self._vtime.get(job.network, 0.0), job.seq)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = job, rank
+        return best
+
+    def _fill_slots(self) -> None:
+        while self._inflight_slots < self.slots and self._ready:
+            job = self._pick()
+            if job is None:
+                return
+            task = job._queue.popleft()
+            if not job._queue:
+                self._ready.remove(job)
+            if job.state is JobState.READY:
+                job.state = JobState.RUNNING
+                job._prepared.started = time.perf_counter()
+            job._inflight += 1
+            self._inflight_slots += 1
+            self._counters["shards_dispatched"] += 1
+            self._shards_by_network[job.network] = (
+                self._shards_by_network.get(job.network, 0) + 1
+            )
+            weight = self._weights.get(job.network, 1.0)
+            self._vtime[job.network] = (
+                self._vtime.get(job.network, 0.0) + 1.0 / weight
+            )
+            self._fleet.submit(
+                task,
+                callback=lambda res, j=job: self._from_fleet(j, res, None),
+                error_callback=lambda exc, j=job: self._from_fleet(j, None, exc),
+            )
+
+    def _from_fleet(self, job: ServeJob, result, exc) -> None:
+        # Pool result-handler thread: marshal onto the loop and return.
+        try:
+            self._loop.call_soon_threadsafe(self._on_shard, job, result, exc)
+        except RuntimeError:
+            pass  # loop already closed under a forced teardown
+
+    def _on_shard(self, job: ServeJob, result, exc) -> None:
+        self._inflight_slots -= 1
+        self._counters["shards_completed"] += 1
+        job._inflight -= 1
+        job.shards_done += 1
+        if exc is not None:
+            if job._error is None:
+                job._error = exc
+        elif result is not None:
+            job._shard_results.append(result)
+        if (job._error is not None or job.cancel_requested) and job._queue:
+            # Stop submitting: the remaining shards are dead weight.
+            job._queue.clear()
+            if job in self._ready:
+                self._ready.remove(job)
+        if job._inflight == 0 and not job._queue and not job.done:
+            self._loop.create_task(self._finalize(job))
+        self._fill_slots()
+
+    # ------------------------------------------------------------------
+    # Completion / cancellation (event-loop thread only)
+    # ------------------------------------------------------------------
+    async def _finalize(self, job: ServeJob) -> None:
+        """Settle a job once nothing of it is in flight anymore."""
+        if job._finalized:
+            return
+        job._finalized = True
+        engine = self.hub.engine(job.network)
+        try:
+            if job.cancel_requested or job._error is not None:
+                await self._run_coord(self._release_sync, engine, job)
+                if job.cancel_requested:
+                    state = (
+                        JobState.EXPIRED
+                        if job.cancel_reason == "deadline"
+                        else JobState.CANCELLED
+                    )
+                    self._resolve(
+                        job, state,
+                        error=JobCancelled(job.id, job.cancel_reason or "cancelled"),
+                    )
+                else:
+                    self._resolve(job, JobState.FAILED, error=job._error)
+                return
+            if job._prepared is not None and job._prepared.mode == "pooled":
+                result = await self._run_coord(self._finish_sync, engine, job)
+            else:
+                result = None  # cancelled before planning produced work
+            self._resolve(job, JobState.DONE, result=result)
+        except BaseException as exc:
+            self._resolve(job, JobState.FAILED, error=exc)
+
+    def _finish_sync(self, engine, job: ServeJob) -> MiningResult:
+        # Coordinator thread: merge, cache, then release bus and pin.
+        try:
+            return engine.finish(job._prepared, job._shard_results)
+        finally:
+            self._release_sync(engine, job)
+
+    def _release_sync(self, engine, job: ServeJob) -> None:
+        # Coordinator thread.  Safe exactly because finalize waits for
+        # every submitted shard to settle first.
+        if job._prepared is not None:
+            engine.release_bus(job._prepared)
+        if job._pinned:
+            job._pinned = False
+            self.hub.unpin_lease(job.network)
+
+    def _resolve(
+        self,
+        job: ServeJob,
+        state: JobState,
+        result=None,
+        error: BaseException | None = None,
+    ) -> None:
+        if job.done:
+            return
+        job.state = state
+        job.finished_at = self._loop.time()
+        job._finalized = True
+        if state is JobState.DONE:
+            self._counters["completed"] += 1
+            if not job.future.done():
+                job.future.set_result(result)
+        else:
+            key = {
+                JobState.FAILED: "failed",
+                JobState.CANCELLED: "cancelled",
+                JobState.EXPIRED: "expired",
+            }[state]
+            self._counters[key] += 1
+            if not job.future.done():
+                job.future.set_exception(error)
+                if isinstance(error, JobCancelled):
+                    # Cancellation is a normal outcome the caller may
+                    # never await; don't log it as an unretrieved error.
+                    job.future.exception()
+        remaining = self._active_by_network.get(job.network, 1) - 1
+        if remaining > 0:
+            self._active_by_network[job.network] = remaining
+        else:
+            self._active_by_network.pop(job.network, None)
+        self._check_drain(job.network)
+        self._retire(job)
+
+    def _retire(self, job: ServeJob) -> None:
+        self._retired.append(job.id)
+        while len(self._retired) > self.retain_jobs:
+            stale = self._retired.popleft()
+            old = self._jobs.get(stale)
+            if old is not None and old.done:
+                del self._jobs[stale]
+
+    def _request_cancel(self, job: ServeJob, reason: str) -> None:
+        """Thread-safe cancellation entry (jobs delegate here)."""
+        if self._loop is None:
+            return
+        try:
+            running = asyncio.get_running_loop() is self._loop
+        except RuntimeError:
+            running = False
+        if running:
+            self._cancel_on_loop(job, reason)
+        else:
+            self._loop.call_soon_threadsafe(self._cancel_on_loop, job, reason)
+
+    def _cancel_on_loop(self, job: ServeJob, reason: str) -> None:
+        if job.done or job.cancel_requested:
+            return
+        job.cancel_requested = True
+        job.cancel_reason = reason
+        if job._queue:
+            job._queue.clear()
+            if job in self._ready:
+                self._ready.remove(job)
+        if job._inflight > 0:
+            return  # _on_shard finalizes after the drain
+        if job._executing:
+            return  # the admitter owns it and finalizes at its next checkpoint
+        # Nothing of the job is anywhere in flight — not in the admit
+        # pipeline, not on the coordinator, not on the fleet (this
+        # includes a RUNNING pooled job whose dispatched shards all
+        # settled while its remaining ones sat queued behind other
+        # jobs) — so settle it now; the admitter skips done jobs.
+        self._loop.create_task(self._finalize(job))
+
+    def _expire(self, job: ServeJob) -> None:
+        if not job.done:
+            self._cancel_on_loop(job, "deadline")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters + live state (JSON-ready)."""
+        live = [j for j in self._jobs.values() if not j.done]
+        return {
+            **self._counters,
+            "slots": self.slots,
+            "inflight_slots": self._inflight_slots,
+            "live_jobs": len(live),
+            "ready_jobs": len(self._ready),
+            "networks": {
+                name: {
+                    "shards_served": served,
+                    "vtime": self._vtime.get(name, 0.0),
+                    "weight": self._weights.get(name, 1.0),
+                }
+                for name, served in sorted(self._shards_by_network.items())
+            },
+        }
+
+    def __repr__(self) -> str:
+        state = (
+            "closed" if self._closed
+            else "serving" if self._loop is not None
+            else "unstarted"
+        )
+        return (
+            f"Scheduler(networks={self.hub.names()}, slots={self.slots}, "
+            f"{state}, inflight={self._inflight_slots})"
+        )

@@ -357,6 +357,107 @@ class TestDiskCache:
         tiered.close()
 
 
+class TestDiskCacheEviction:
+    """Satellite: the sqlite tier no longer grows unboundedly."""
+
+    def test_max_bytes_evicts_lru_by_last_used(self, tmp_path, monkeypatch):
+        import repro.engine.cache as cache_module
+
+        clock = [1000.0]
+        monkeypatch.setattr(cache_module, "_now", lambda: clock[0])
+        # Each pickled payload is ~size bytes; cap fits roughly two.
+        payload = b"x" * 100
+        cache = DiskResultCache(tmp_path / "cap.sqlite", max_bytes=250)
+        for name in ("k1", "k2", "k3"):
+            clock[0] += 1
+            cache.put(("fp", name), payload)
+        assert len(cache) == 2  # k1 (oldest) already evicted
+        assert cache.get(("fp", "k1")) is None
+        clock[0] += 1
+        assert cache.get(("fp", "k2")) is not None  # refreshes last_used
+        clock[0] += 1
+        cache.put(("fp", "k4"), payload)
+        # k3 became the LRU once k2 was refreshed, so k3 went, k2 stayed.
+        assert cache.get(("fp", "k3")) is None
+        assert cache.get(("fp", "k2")) is not None
+        assert cache.get(("fp", "k4")) is not None
+        assert cache.evictions == 2
+        assert cache.total_bytes() <= 250
+        cache.close()
+
+    def test_oversized_single_value_is_stored_not_thrashed(self, tmp_path):
+        cache = DiskResultCache(tmp_path / "big.sqlite", max_bytes=10)
+        cache.put(("fp", "huge"), b"y" * 1000)
+        assert cache.get(("fp", "huge")) is not None  # kept despite the cap
+        cache.put(("fp", "huge2"), b"z" * 1000)
+        assert len(cache) == 1  # but it is the first to go for the next one
+        cache.close()
+
+    def test_ttl_expires_unused_entries(self, tmp_path, monkeypatch):
+        import repro.engine.cache as cache_module
+
+        clock = [0.0]
+        monkeypatch.setattr(cache_module, "_now", lambda: clock[0])
+        cache = DiskResultCache(tmp_path / "ttl.sqlite", ttl_seconds=10.0)
+        cache.put(("fp", "stale"), 1)
+        cache.put(("fp", "kept"), 2)
+        clock[0] = 8.0
+        assert cache.get(("fp", "kept")) == 2  # refreshed inside the window
+        clock[0] = 15.0  # "stale" is 15s old, "kept" only 7s
+        assert cache.get(("fp", "stale")) is None  # lazy expiry on access
+        assert cache.get(("fp", "kept")) == 2
+        assert cache.expirations == 1
+        # Bulk expiry on put removes stale rows without touching them.
+        clock[0] = 40.0
+        cache.put(("fp", "new"), 3)
+        assert len(cache) == 1 and cache.get(("fp", "new")) == 3
+        cache.close()
+
+    def test_pre_eviction_files_are_migrated_in_place(self, tmp_path):
+        import pickle
+        import sqlite3
+
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE results (fingerprint TEXT NOT NULL,"
+            " ckey BLOB NOT NULL, value BLOB NOT NULL,"
+            " PRIMARY KEY (fingerprint, ckey))"
+        )
+        key = ("fp", "legacy")
+        conn.execute(
+            "INSERT INTO results VALUES (?, ?, ?)",
+            ("fp", pickle.dumps(key, protocol=4), pickle.dumps(42, protocol=4)),
+        )
+        conn.commit()
+        conn.close()
+        cache = DiskResultCache(path, max_bytes=10_000, ttl_seconds=3600)
+        assert cache.get(key) == 42  # legacy row readable and evictable
+        assert cache.total_bytes() > 0  # size backfilled from LENGTH(value)
+        cache.put(("fp", "new"), 43)
+        assert cache.get(("fp", "new")) == 43
+        cache.close()
+
+    def test_bounds_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskResultCache(tmp_path / "x.sqlite", max_bytes=0)
+        with pytest.raises(ValueError):
+            DiskResultCache(tmp_path / "y.sqlite", ttl_seconds=0)
+
+    def test_hub_wires_disk_bounds_through(self, tmp_path):
+        with EngineHub(
+            workers=1,
+            disk_cache=tmp_path / "hub.sqlite",
+            disk_cache_max_bytes=50_000,
+            disk_cache_ttl_seconds=3600,
+        ) as hub:
+            hub.register("n", _make_network(9))
+            hub.mine("n", k=5, min_support=2, min_nhp=0.3)
+            disk = hub.cache.disk
+            assert disk.max_bytes == 50_000 and disk.ttl_seconds == 3600
+            assert len(disk) == 1
+
+
 class TestWorkerStoreRotation:
     """Per-task store attach: one worker serving many segment names."""
 
