@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Warm-start + single-flight bench: cold sweeps vs planner-assisted.
+
+Two experiments on one network, run as a script (pytest does not
+collect it):
+
+    PYTHONPATH=src python benchmarks/bench_warmstart_dedup.py [--quick]
+
+* **Warm-start** — a dominance-related sweep (one strict seed point,
+  many relaxed dependents) runs twice through ``repro.serve.Scheduler``:
+  once with warm-start off (every point cold) and once with the
+  admission planner on (seed mined first at boosted priority, its
+  k-th-best score seeding the dependents' threshold buses).  Recorded
+  per dependent: ``grs_examined``, ``candidates``, runtime.  The
+  acceptance check is *strictly fewer* summed ``grs_examined`` on the
+  warm side, with every answer verified GR-for-GR against fresh
+  one-shot miners.
+* **Single-flight dedup** — N identical concurrent jobs through the
+  scheduler (cacheless hub, so dedup is the only collapse mechanism)
+  vs the same N queries mined sequentially on a cacheless blocking
+  hub.  The check: exactly one cache-missed execution on the scheduler
+  side (engine ``cache_misses == 1``) with all N answers equal.
+
+``--quick`` shrinks the dataset for a CI-sized smoke run.  The table
+goes to stdout and ``benchmarks/out/warmstart_dedup.txt``; the
+machine-readable payload to ``benchmarks/out/BENCH_warmstart.json``
+(the CI artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench.harness import format_series
+from repro.datasets import synthetic_pokec
+from repro.engine import EngineHub, MineRequest
+from repro.parallel import ParallelGRMiner
+from repro.serve import Scheduler
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+TXT_PATH = OUT_DIR / "warmstart_dedup.txt"
+JSON_PATH = OUT_DIR / "BENCH_warmstart.json"
+
+
+def _network(quick: bool):
+    if quick:
+        return synthetic_pokec(
+            num_sources=600, num_edges=6_000, num_regions=12, seed=20160516
+        )
+    return synthetic_pokec(num_sources=2500, num_edges=25_000, seed=20160516)
+
+
+def _signature(result):
+    return [(str(m.gr), round(m.score, 9)) for m in result]
+
+
+def _warmstart_grid(quick: bool, workers: int) -> list[MineRequest]:
+    """One dominating seed plus relaxed dependents (generality off, so
+    both threshold axes relax — the hardest-working floor)."""
+    k = 10
+    seed = MineRequest.create(
+        k=k, min_support=40, min_nhp=0.5, workers=workers, apply_generality=False
+    )
+    supports = (5, 10, 20) if quick else (5, 10, 15, 20, 25, 30)
+    dependents = [
+        MineRequest.create(
+            k=k, min_support=s, min_nhp=0.0, workers=workers,
+            apply_generality=False,
+        )
+        for s in supports
+    ]
+    return [seed] + dependents
+
+
+def _run_sweep(network, requests, workers: int, warm_start: bool):
+    async def scenario():
+        with EngineHub(workers=workers, cache_size=0) as hub:
+            hub.register("net", network)
+            async with Scheduler(hub, warm_start=warm_start) as scheduler:
+                t0 = time.perf_counter()
+                jobs = scheduler.submit_sweep("net", requests)
+                results = [await job for job in jobs]
+                elapsed = time.perf_counter() - t0
+                return results, [job.warm_floor for job in jobs], elapsed
+
+    return asyncio.run(scenario())
+
+
+def _run_dedup(network, request, n: int, workers: int):
+    async def scenario():
+        with EngineHub(workers=workers, cache_size=0) as hub:
+            hub.register("net", network)
+            async with Scheduler(hub) as scheduler:
+                t0 = time.perf_counter()
+                jobs = [scheduler.submit("net", request) for _ in range(n)]
+                results = [await job for job in jobs]
+                elapsed = time.perf_counter() - t0
+                stats = hub.engine("net").stats
+                return (
+                    results,
+                    elapsed,
+                    stats.cache_misses,
+                    sum(job.deduped for job in jobs),
+                )
+
+    return asyncio.run(scenario())
+
+
+def run(quick: bool, workers: int) -> tuple[str, dict]:
+    network = _network(quick)
+    requests = _warmstart_grid(quick, workers)
+    fresh = [
+        _signature(
+            ParallelGRMiner(
+                network,
+                workers=workers,
+                k=r.k,
+                min_support=r.min_support,
+                min_score=r.min_nhp,
+                **dict(r.options),
+            ).mine()
+        )
+        for r in requests
+    ]
+
+    cold_results, _, cold_elapsed = _run_sweep(network, requests, workers, False)
+    warm_results, floors, warm_elapsed = _run_sweep(network, requests, workers, True)
+    mismatches = sum(
+        _signature(c) != f or _signature(w) != f
+        for c, w, f in zip(cold_results, warm_results, fresh)
+    )
+
+    rows = []
+    for r, cold, warm, floor in zip(requests, cold_results, warm_results, floors):
+        rows.append(
+            {
+                "point": f"supp={r.min_support} nhp={r.min_nhp}",
+                "role": "seed" if floor is None and r is requests[0] else (
+                    "dependent" if floor is not None else "cold"
+                ),
+                "floor": floor if floor is not None else "-",
+                "cold grs_examined": cold.stats.grs_examined,
+                "warm grs_examined": warm.stats.grs_examined,
+                "cold candidates": cold.stats.candidates,
+                "warm candidates": warm.stats.candidates,
+                "cold runtime (s)": cold.stats.runtime_seconds,
+                "warm runtime (s)": warm.stats.runtime_seconds,
+            }
+        )
+    dependent_cold = sum(r.stats.grs_examined for r in cold_results[1:])
+    dependent_warm = sum(r.stats.grs_examined for r in warm_results[1:])
+
+    # ---- dedup: N identical concurrent jobs vs N sequential mines ----
+    n_jobs = 4 if quick else 8
+    dup_request = MineRequest.create(
+        k=10, min_support=10, min_nhp=0.3, workers=workers
+    )
+    dup_results, dedup_elapsed, dedup_misses, followers = _run_dedup(
+        network, dup_request, n_jobs, workers
+    )
+    with EngineHub(workers=workers, cache_size=0) as hub:
+        hub.register("net", network)
+        t0 = time.perf_counter()
+        sequential = [hub.mine("net", dup_request) for _ in range(n_jobs)]
+        sequential_elapsed = time.perf_counter() - t0
+    dup_reference = _signature(sequential[0])
+    mismatches += sum(_signature(r) != dup_reference for r in dup_results)
+
+    summary = {
+        "workers": workers,
+        "grid_points": len(requests),
+        "warm_started_dependents": sum(f is not None for f in floors),
+        "dependent_grs_examined_cold": dependent_cold,
+        "dependent_grs_examined_warm": dependent_warm,
+        "grs_examined_saved": dependent_cold - dependent_warm,
+        "sweep_elapsed_cold_s": cold_elapsed,
+        "sweep_elapsed_warm_s": warm_elapsed,
+        "dedup_jobs": n_jobs,
+        "dedup_mining_executions": dedup_misses,
+        "dedup_followers": followers,
+        "dedup_concurrent_elapsed_s": dedup_elapsed,
+        "dedup_sequential_elapsed_s": sequential_elapsed,
+        "mismatches": mismatches,
+    }
+    payload = {
+        "config": {
+            "quick": quick,
+            "cpus": os.cpu_count(),
+            "edges": network.num_edges,
+        },
+        "rows": rows,
+        "summary": summary,
+    }
+    title = (
+        f"warm-start x{workers}: dependents examined {dependent_cold} GRs cold "
+        f"vs {dependent_warm} warm "
+        f"({summary['grs_examined_saved']} saved); dedup: {n_jobs} identical "
+        f"jobs -> {dedup_misses} execution(s), "
+        f"{dedup_elapsed:.2f}s concurrent vs {sequential_elapsed:.2f}s sequential"
+    )
+    return format_series(rows, title=title), payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke run: small data, small grid"
+    )
+    parser.add_argument("--workers", type=int, default=2, help="shared fleet size")
+    args = parser.parse_args(argv)
+    OUT_DIR.mkdir(exist_ok=True)
+    table, payload = run(args.quick, max(1, args.workers))
+    print(table)
+    TXT_PATH.write_text(table + "\n")
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {TXT_PATH}\nwrote {JSON_PATH}")
+    summary = payload["summary"]
+    if summary["mismatches"]:
+        print(f"RESULT MISMATCH: {summary['mismatches']} verification failure(s)")
+        return 1
+    if summary["warm_started_dependents"] == 0:
+        print("NO WARM STARTS: the seed never floored a dependent")
+        return 1
+    if summary["dependent_grs_examined_warm"] >= summary["dependent_grs_examined_cold"]:
+        print(
+            "NO PRUNING WIN: warm-started dependents examined "
+            f"{summary['dependent_grs_examined_warm']} GRs vs "
+            f"{summary['dependent_grs_examined_cold']} cold"
+        )
+        return 1
+    if summary["dedup_mining_executions"] != 1:
+        print(
+            f"DEDUP MISS: {summary['dedup_mining_executions']} executions for "
+            f"{summary['dedup_jobs']} identical concurrent jobs"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,7 +45,31 @@ from .metrics import GRMetrics
 from .results import MiningResult, MiningStats
 from .topk import GeneralityIndex, TopKCollector
 
-__all__ = ["BranchPlan", "BranchSpec", "GRMiner", "MinerConfig", "mine_top_k"]
+__all__ = [
+    "BranchPlan",
+    "BranchSpec",
+    "CKEY_ABS_SUPPORT",
+    "CKEY_APPLY_GENERALITY",
+    "CKEY_K",
+    "CKEY_MIN_SCORE",
+    "CKEY_PUSH_TOPK",
+    "CKEY_RANK_BY",
+    "GRMiner",
+    "MinerConfig",
+    "mine_top_k",
+]
+
+#: Positions of individual fields inside the tuple returned by
+#: :meth:`MinerConfig.canonical_key`.  Kept adjacent to that method so
+#: the two cannot drift apart silently; consumers (the warm-start
+#: dominance check in :mod:`repro.engine.request`) index canonical keys
+#: through these names instead of magic numbers.
+CKEY_ABS_SUPPORT = 0
+CKEY_MIN_SCORE = 1
+CKEY_K = 2
+CKEY_RANK_BY = 3
+CKEY_PUSH_TOPK = 4
+CKEY_APPLY_GENERALITY = 13
 
 
 @dataclass
@@ -161,6 +185,9 @@ class MinerConfig:
         ranking (``laplace_k`` off-``laplace``, ``gain_theta``
         off-``gain``, ``verify_generality`` without a dynamic top-k) are
         masked out.  The engine's result cache is keyed by this.
+
+        The field order is part of the contract: the module-level
+        ``CKEY_*`` constants name the positions other layers index.
         """
         node_attributes = (
             self.node_attributes

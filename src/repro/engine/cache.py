@@ -380,10 +380,20 @@ class DiskResultCache:
                 self._conn = None
 
     def __len__(self) -> int:
+        """Rows ``get`` would still serve — TTL-expired rows are not
+        counted, even before the lazy expiry physically deletes them,
+        so ``len(cache)`` and the hit rate agree."""
         with self._lock:
             if self._conn is None:
                 return 0
             try:
+                if self.ttl_seconds is not None:
+                    return int(
+                        self._conn.execute(
+                            "SELECT COUNT(*) FROM results WHERE last_used >= ?",
+                            (_now() - self.ttl_seconds,),
+                        ).fetchone()[0]
+                    )
                 return int(
                     self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
                 )
@@ -391,20 +401,30 @@ class DiskResultCache:
                 return 0
 
     def __contains__(self, key: Hashable) -> bool:
+        """Whether ``get(key)`` would hit.  A row past its TTL reports
+        ``False`` (``get`` would refuse to serve it); the row itself is
+        left for the lazy/bulk expiry paths — introspection must not
+        mutate."""
         with self._lock:
             if self._conn is None:
                 return False
             fingerprint, ckey = self._split(key)
             try:
-                return (
-                    self._conn.execute(
-                        "SELECT 1 FROM results WHERE fingerprint = ? AND ckey = ?",
-                        (fingerprint, ckey),
-                    ).fetchone()
-                    is not None
-                )
+                row = self._conn.execute(
+                    "SELECT last_used FROM results"
+                    " WHERE fingerprint = ? AND ckey = ?",
+                    (fingerprint, ckey),
+                ).fetchone()
             except sqlite3.Error:
                 return False
+            if row is None:
+                return False
+            if (
+                self.ttl_seconds is not None
+                and _now() - row[0] > self.ttl_seconds
+            ):
+                return False
+            return True
 
 
 class TieredResultCache:

@@ -75,6 +75,9 @@ class EngineStats:
     invalidations: int = 0
     #: Cache entries explicitly purged by those invalidations.
     purged_entries: int = 0
+    #: Pooled queries whose threshold bus was checked out pre-seeded
+    #: with a warm-start floor (see :meth:`MiningEngine.prepare`).
+    warm_starts: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -85,6 +88,7 @@ class EngineStats:
             "cache_misses": self.cache_misses,
             "invalidations": self.invalidations,
             "purged_entries": self.purged_entries,
+            "warm_starts": self.warm_starts,
         }
 
 
@@ -126,6 +130,8 @@ class PreparedQuery:
     tasks: tuple[ShardTask, ...] = ()
     bus: object = None
     started: float = 0.0
+    #: Warm-start floor the bus was seeded with (``None`` = cold).
+    floor: float | None = None
     #: ``AsyncResult``s of submitted tasks (the blocking sweep path).
     pending: list = field(default_factory=list)
 
@@ -289,7 +295,7 @@ class MiningEngine:
             self.network.schema, self.network.num_edges
         ))
 
-    def prepare(self, request: MineRequest) -> PreparedQuery:
+    def prepare(self, request: MineRequest, floor: float | None = None) -> PreparedQuery:
         """The front half of one query: cache lookup, planning, sharding.
 
         Returns a :class:`PreparedQuery` whose ``mode`` tells the caller
@@ -299,6 +305,15 @@ class MiningEngine:
         caller's to submit (in any interleaving) before :meth:`finish`.
         Stats are counted here, so a scheduler-served query shows up in
         :class:`EngineStats` exactly like a ``sweep()``-served one.
+
+        ``floor`` is an optional *warm-start* threshold: a pooled
+        query's threshold bus is checked out pre-seeded with it, so
+        every shard starts its dynamic minNhp there instead of at −inf.
+        The caller guarantees soundness — the floor must certify ≥ k
+        valid results of **this** query scoring at least it (derived
+        in :func:`repro.engine.request.warmstart_dominates`; the
+        :mod:`repro.serve` admission planner computes such floors from
+        dominating sweep points).  Serial/inline/cached modes ignore it.
         """
         self._ensure_open()
         self.stats.queries += 1
@@ -309,15 +324,18 @@ class MiningEngine:
             cached.params["cached"] = True
             return PreparedQuery(request=request, key=key, mode="cached", result=cached)
         self.stats.cache_misses += 1
-        return self.plan_query(request, key)
+        return self.plan_query(request, key, floor=floor)
 
-    def plan_query(self, request: MineRequest, key: tuple) -> PreparedQuery:
+    def plan_query(
+        self, request: MineRequest, key: tuple, floor: float | None = None
+    ) -> PreparedQuery:
         """Plan one cache-missed query into an executable form.
 
         Serial requests defer all work to execution; pooled requests pay
         branch planning, sharding, the bus checkout and the store-handle
         resolution here, so their tasks can be dispatched without
-        touching the engine again.
+        touching the engine again.  ``floor`` seeds the pooled bus as on
+        :meth:`prepare`.
         """
         if request.workers is None:
             return PreparedQuery(
@@ -340,8 +358,12 @@ class MiningEngine:
         shards = plan_shards(plan.branches, workers)
         pooled = len(shards) > 1 and workers > 1
         bus = None
+        applied_floor = None
         if pooled and config.push_topk and config.k is not None:
-            bus = self._bus_pool().acquire()
+            bus = self._bus_pool().acquire(floor=floor)
+            if floor is not None:
+                applied_floor = float(floor)
+                self.stats.warm_starts += 1
         # Inline shards run on this process's own store; pooled ones
         # carry the lease handle so any fleet — including a shared,
         # store-agnostic hub fleet — can attach the right data.
@@ -364,6 +386,7 @@ class MiningEngine:
             plan=plan,
             tasks=tasks,
             bus=bus,
+            floor=applied_floor,
         )
 
     def execute_prepared(self, prepared: PreparedQuery) -> MiningResult:
@@ -404,6 +427,7 @@ class MiningEngine:
             shards=len(prepared.tasks),
             start_method=self.start_method,
             engine=self.fingerprint,
+            warm_floor=prepared.floor,
         )
         result = MiningResult(grs=entries, stats=stats, params=params)
         self._cache.put(prepared.key, result)

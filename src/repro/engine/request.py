@@ -12,9 +12,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from ..core.miner import MinerConfig
+from ..core.miner import (
+    CKEY_ABS_SUPPORT,
+    CKEY_APPLY_GENERALITY,
+    CKEY_K,
+    CKEY_MIN_SCORE,
+    CKEY_PUSH_TOPK,
+    MinerConfig,
+)
 
-__all__ = ["MineRequest"]
+__all__ = ["MineRequest", "warmstart_dominates"]
 
 #: MineRequest fields that are *not* forwarded as MinerConfig options.
 _OWN_FIELDS = frozenset({"k", "min_support", "min_nhp", "rank_by", "push_topk", "workers"})
@@ -134,3 +141,88 @@ class MineRequest:
             parts.append(f"workers={self.workers}")
         parts.extend(f"{name}={value}" for name, value in self.options)
         return " ".join(parts)
+
+
+#: Canonical-key positions masked by the warm-start dominance check —
+#: the two threshold fields that may differ between seed and dependent.
+_THRESHOLD_SLOTS = frozenset({CKEY_ABS_SUPPORT, CKEY_MIN_SCORE})
+
+
+def _invariant_part(config_key: tuple) -> tuple:
+    return tuple(
+        value for i, value in enumerate(config_key) if i not in _THRESHOLD_SLOTS
+    )
+
+
+def warmstart_dominates(seed_key: tuple, dependent_key: tuple) -> bool:
+    """Whether mining ``seed_key``'s query first yields a *sound*
+    warm-start floor for ``dependent_key``'s query.
+
+    Both arguments are full :meth:`MineRequest.canonical_key` tuples
+    (execution mode followed by the resolved
+    :meth:`~repro.core.miner.MinerConfig.canonical_key` fields) over the
+    **same store fingerprint** — the caller is responsible for the
+    fingerprint check, since the keys themselves do not carry it.
+
+    Soundness derivation
+    --------------------
+    A threshold floor ``t`` may seed a query Q's dynamic minNhp iff Q
+    has at least ``k`` valid results scoring ``>= t``: then any GR
+    scoring strictly below ``t`` is outside Q's top-k (score is the
+    primary rank key), so rejecting it early — exactly what the
+    :class:`~repro.parallel.bus.ThresholdBus` floor does, with a strict
+    comparison — can never change Q's answer.  The candidate floor is
+    the seed's k-th-best score, which certifies ``k`` seed results
+    scoring ``>= t``.  Those results carry over to the dependent when:
+
+    * **Every non-threshold field coincides** (k, rank_by, push_topk,
+      attribute lists, caps, ...): the two queries then enumerate the
+      same GR space and rank it identically, differing only in which
+      GRs *qualify*.
+    * **The seed's thresholds are at least as strict**:
+      ``abs_min_support(seed) >= abs_min_support(dep)`` and
+      ``min_score(seed) >= min_score(dep)``.  Each seed result then
+      meets the dependent's condition (1) too (its support and score
+      clear the seed's higher bars).
+
+    With generality verification **off** (``apply_generality=False``),
+    condition (1) is the whole story and both threshold axes may relax
+    monotonically.
+
+    With generality verification **on**, Definition 5(2) adds a trap:
+    a seed result ``e`` is only a *valid* dependent result if no more
+    general GR with the same RHS qualifies under the **dependent's**
+    thresholds.  A generalization ``g`` of ``e`` always has
+    ``supp(g) >= supp(e)`` (its edge set is a superset — Theorem 2(1)),
+    so relaxing ``min_support`` can never newly qualify a blocker: any
+    ``g`` qualifying under the dependent's laxer support bound already
+    had ``supp(g) >= supp(e) >= abs_min_support(seed)`` and would have
+    blocked ``e`` in the seed run — contradiction.  But ``score(g)`` is
+    **not** monotone under generalization, so relaxing ``min_nhp`` can
+    qualify a blocker with ``min_nhp(dep) <= score(g) <
+    min_nhp(seed)``, silently removing ``e`` from the dependent's valid
+    set and breaking the "k results >= t" certificate.  Hence with
+    generality on, only the support axis may relax; ``min_score`` must
+    be equal.
+
+    Only ``"sharded"``-mode keys with a dynamic top-k (``push_topk``
+    and a finite ``k``) are eligible: the floor is delivered through
+    the threshold bus of the pooled path, whose per-candidate direct
+    generality verification makes the argument above exact (serial
+    GRMiner(k)'s index-based check is already heuristic per DESIGN.md
+    §5.5 and gets no bus).  Identical keys are *not* dominance — they
+    are the single-flight dedup case.
+    """
+    if seed_key == dependent_key:
+        return False
+    if seed_key[0] != "sharded" or dependent_key[0] != "sharded":
+        return False
+    seed_cfg, dep_cfg = seed_key[1:], dependent_key[1:]
+    if seed_cfg[CKEY_K] is None or not seed_cfg[CKEY_PUSH_TOPK]:
+        return False
+    if _invariant_part(seed_cfg) != _invariant_part(dep_cfg):
+        return False
+    support_ok = seed_cfg[CKEY_ABS_SUPPORT] >= dep_cfg[CKEY_ABS_SUPPORT]
+    if seed_cfg[CKEY_APPLY_GENERALITY]:
+        return support_ok and seed_cfg[CKEY_MIN_SCORE] == dep_cfg[CKEY_MIN_SCORE]
+    return support_ok and seed_cfg[CKEY_MIN_SCORE] >= dep_cfg[CKEY_MIN_SCORE]

@@ -65,6 +65,20 @@ class ThresholdBus:
         """The highest published local k-th best (−inf when none yet)."""
         return float(self._scores.max())
 
+    def seed(self, score: float) -> None:
+        """Publish a warm-start floor into the *last* slot.
+
+        The single-writer-per-slot discipline holds only if no shard is
+        assigned that slot — callers reserving a seed slot must size the
+        bus one slot beyond the shard count (:class:`~repro.parallel.pool.BusPool`
+        does).  Soundness is the caller's: the score must certify ≥ k
+        results of *this* query scoring at least it (see
+        :func:`repro.engine.request.warmstart_dominates`); workers then
+        fold it into their pruning exactly as they would a sibling's
+        published k-th best.
+        """
+        self.publish(self.num_slots - 1, float(score))
+
     def reset(self) -> None:
         """Clear every slot back to −inf, readying the bus for reuse.
 

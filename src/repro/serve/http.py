@@ -18,7 +18,11 @@ Endpoints
     ``deadline_s`` and ``mode`` (``"sync"`` waits and returns the
     result; ``"async"`` returns ``{"job": {...}}`` immediately).
 ``POST /networks/{name}/sweep``
-    Body: ``{"requests": [{...}, ...], "priority": ..., "mode": ...}``.
+    Body: ``{"requests": [{...}, ...], "priority": ..., "mode": ...,
+    "warm_start": ...}`` (``warm_start`` overrides the scheduler's
+    speculative-floor default for this batch).  Specs are validated
+    before any job is admitted — a bad spec rejects the whole batch
+    without leaving earlier specs mining.
 ``POST /networks/{name}/append_edges``
     Body: ``{"src": [...], "dst": [...], "edge_codes": {attr: [...]}}``;
     drains the network's in-flight jobs, applies the delta, returns the
@@ -292,10 +296,17 @@ class ServeHTTP:
         if not isinstance(specs, list) or not specs:
             raise _BadRequest("'requests' must be a non-empty list")
         serve_args = self._serve_args(body)
-        jobs = [
-            self.scheduler.submit(name, request_from_body(spec), **serve_args)
-            for spec in specs
-        ]
+        warm_start = body.get("warm_start")
+        if warm_start is not None and not isinstance(warm_start, bool):
+            raise _BadRequest("'warm_start' must be a boolean")
+        # Every spec is validated before any job is admitted: a bad spec
+        # at position i must not leave the i-1 earlier ones mining (and
+        # holding fleet slots) behind the client's 400.  submit_sweep
+        # additionally cancels the batch if a later *submission* fails.
+        requests = [request_from_body(spec) for spec in specs]
+        jobs = self.scheduler.submit_sweep(
+            name, requests, warm_start=warm_start, **serve_args
+        )
         if body.get("mode") == "async":
             return 200, {"jobs": [job.describe() for job in jobs]}
         await asyncio.gather(*(job.future for job in jobs), return_exceptions=True)

@@ -21,6 +21,21 @@ shards, its in-flight shards drain (their results are discarded), and
 only then is its threshold bus recycled — the same settle-before-release
 invariant the blocking sweep upholds, which is what keeps a cancelled
 job from ever polluting another job's dynamic thresholds.
+
+Two admission-planner roles layer on top (see
+:meth:`Scheduler.submit_sweep`):
+
+* **Single-flight dedup** — a job admitted while an identical one
+  (same network, store fingerprint and canonical request) is already
+  in flight becomes a *follower* of that *leader*: it holds no shards,
+  bus or pins of its own, and resolves with a private copy of the
+  leader's outcome.  The shared execution runs at the maximum priority
+  of the attached jobs; cancelling a follower merely detaches it,
+  cancelling the leader promotes a follower (or re-plans).
+* **Warm-start dependents** — a job submitted with ``floor_from=seed``
+  parks until the seed resolves, then admits with the seed's
+  k-th-best score as its threshold-bus floor (cold when dominance
+  does not hold; ``warm_floor`` records what was applied).
 """
 
 from __future__ import annotations
@@ -93,6 +108,13 @@ class ServeJob:
         self.shards_total: int = 0
         self.shards_done: int = 0
         self.cached: bool = False
+        #: Single-flight identity ``(network, fingerprint, canonical
+        #: key)``, assigned at admission (``None`` until then).
+        self.dedup_key = None
+        #: True when this job rode another job's execution (follower).
+        self.deduped: bool = False
+        #: Warm-start floor the threshold bus was seeded with, if any.
+        self.warm_floor: float | None = None
         self._prepared = None
         self._queue: deque = deque()
         self._inflight: int = 0
@@ -103,6 +125,34 @@ class ServeJob:
         #: True while the admitter owns the job (prepare or coordinator
         #: execution in progress) — cancellation then defers to it.
         self._executing: bool = False
+        #: Leader this job follows (single-flight), if any.
+        self._leader: "ServeJob | None" = None
+        #: Followers attached to this job's execution (leaders only).
+        self._followers: list["ServeJob"] = []
+        #: Warm-start seed whose resolution this job waits for.
+        self._floor_source: "ServeJob | None" = None
+        #: True while parked in the seed's dependent list (pre-admission;
+        #: such a job holds no shards, pins or buses, so the append-edge
+        #: barrier does not wait for it).
+        self._parked_for_floor: bool = False
+        #: Jobs parked on *this* job's resolution for their floors.
+        self._dependents: list["ServeJob"] = []
+        #: Deadline timer armed at submit; cancelled on resolution so a
+        #: long-deadline job does not leak a live TimerHandle.
+        self._deadline_handle = None
+        #: Set when a cancelled leader's execution moved to a promoted
+        #: follower — in-flight shard completions follow this pointer.
+        self._moved_to: "ServeJob | None" = None
+
+    @property
+    def effective_priority(self) -> int:
+        """The priority the shared execution runs at: the max over this
+        job and its live followers (single-flight boosts the leader)."""
+        priority = self.priority
+        for follower in self._followers:
+            if not follower.done and follower.priority > priority:
+                priority = follower.priority
+        return priority
 
     # ------------------------------------------------------------------
     @property
@@ -139,6 +189,8 @@ class ServeJob:
             "deadline_s": self.deadline_s,
             "state": self.state.value,
             "cached": self.cached,
+            "deduped": self.deduped,
+            "warm_floor": self.warm_floor,
             "shards_total": self.shards_total,
             "shards_done": self.shards_done,
             "cancel_reason": self.cancel_reason,

@@ -24,6 +24,32 @@ one shard task at a time, picked from every admitted job:
   bus next.  ``deadline_s`` arms a timer that cancels with reason
   ``"deadline"`` (state ``EXPIRED``).
 
+A **query-admission planner** sits in front of the slot scheduler:
+
+* **Single-flight dedup.**  Jobs whose ``(network, store fingerprint,
+  canonical request)`` coincide while one is in flight share a single
+  execution: the first becomes the *leader*, later arrivals attach as
+  *followers* that hold no shards, bus or lease pins of their own and
+  resolve with private copies of the leader's outcome.  The shared
+  execution runs at the max priority of all attached jobs; cancelling
+  a follower detaches it, cancelling the leader promotes a follower
+  into the in-flight execution (or re-plans when nothing promotable is
+  in flight yet).  N identical concurrent jobs thus cost one mining
+  pass instead of N.
+* **Speculative warm-start floors.**  :meth:`Scheduler.submit_sweep`
+  inspects a co-admitted batch for the provable dominance relation of
+  :func:`~repro.engine.request.warmstart_dominates` (same query up to
+  monotone thresholds), mines the dominating *seed* point first at
+  boosted priority, and admits the dominated points only once the seed
+  resolved — their threshold buses are then checked out pre-seeded
+  with the seed's k-th-best score, so every shard starts pruning from
+  a proven floor instead of −inf.  Dominance is re-verified against
+  live fingerprints at admission; when it no longer holds (store
+  delta, seed cancelled, seed returned fewer than k results) the
+  dependent falls back to a cold floor.  Answers stay GR-for-GR equal
+  to cold execution either way — the floor only rejects GRs that
+  provably cannot enter the top-k.
+
 Exactness is inherited, not reimplemented: jobs run through the same
 :meth:`~repro.engine.MiningEngine.prepare` /
 :meth:`~repro.engine.MiningEngine.finish` machinery as the blocking
@@ -50,6 +76,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import pickle
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -57,7 +84,7 @@ from typing import Iterable, Mapping
 
 from ..core.results import MiningResult
 from ..engine.hub import EngineHub
-from ..engine.request import MineRequest
+from ..engine.request import MineRequest, warmstart_dominates
 from .job import JobCancelled, JobState, ServeJob
 
 __all__ = ["Scheduler"]
@@ -85,6 +112,16 @@ class Scheduler:
         connection's descriptor to the children, whose copies keep
         clients waiting for an EOF that never comes.  ``False`` restores
         the lazy spawn for fleet-less (serial/cached-only) use.
+    dedup:
+        Single-flight dedup of identical concurrent jobs (default on):
+        a job admitted while an equal one (same network, fingerprint,
+        canonical request) is in flight attaches to that execution
+        instead of mining again.
+    warm_start:
+        Default for speculative warm-start floors (on);
+        :meth:`submit_sweep` / :meth:`sweep` accept a per-batch
+        override in either direction, and an explicit ``floor_from=``
+        on :meth:`submit` is always honored.
 
     Use as an async context manager (or ``await start()`` /
     ``await close()``)::
@@ -101,11 +138,15 @@ class Scheduler:
         hub: EngineHub,
         max_inflight: int | None = None,
         prewarm: bool = True,
+        dedup: bool = True,
+        warm_start: bool = True,
     ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be positive (or None)")
         self.hub = hub
         self.prewarm = prewarm
+        self.dedup = dedup
+        self.warm_start = warm_start
         self.slots = max_inflight if max_inflight is not None else hub.workers
         self._loop: asyncio.AbstractEventLoop | None = None
         self._coordinator = ThreadPoolExecutor(
@@ -130,6 +171,8 @@ class Scheduler:
         #: drained; later ones park in the backlog until the delta lands.
         self._paused: dict[str, int] = {}
         self._backlog: dict[str, deque[ServeJob]] = {}
+        #: Single-flight registry: dedup key -> the in-flight leader.
+        self._singleflight: dict[tuple, ServeJob] = {}
         self._counters = {
             "submitted": 0,
             "completed": 0,
@@ -139,6 +182,12 @@ class Scheduler:
             "cache_hit_jobs": 0,
             "shards_dispatched": 0,
             "shards_completed": 0,
+            #: Jobs that attached to an identical in-flight execution.
+            "deduped": 0,
+            #: Sweep points submitted as boosted-priority dominance seeds.
+            "warm_seeds": 0,
+            #: Jobs whose bus was checked out with a warm-start floor.
+            "warm_started": 0,
         }
         self._closed = False
 
@@ -206,6 +255,7 @@ class Scheduler:
         *,
         priority: int = 0,
         deadline_s: float | None = None,
+        floor_from: ServeJob | None = None,
         **kwargs,
     ) -> ServeJob:
         """Admit one request; returns its :class:`ServeJob` immediately.
@@ -214,6 +264,14 @@ class Scheduler:
         is relative seconds after which the job self-cancels with state
         ``EXPIRED``.  Keywords build the request inline, as on
         ``engine.mine``.
+
+        ``floor_from`` names a *seed* job: this job then parks until the
+        seed resolves and admits with the seed's k-th-best score as its
+        warm-start threshold floor — applied only if the dominance
+        relation of :func:`~repro.engine.request.warmstart_dominates`
+        holds between the two (same network and fingerprint included);
+        otherwise the job admits cold.  :meth:`submit_sweep` wires this
+        automatically for dominance-related batches.
         """
         self._ensure_serving()
         if deadline_s is not None and deadline_s < 0:
@@ -240,12 +298,24 @@ class Scheduler:
         self._active_by_network[network] = (
             self._active_by_network.get(network, 0) + 1
         )
-        if network in self._paused:
+        job._floor_source = floor_from
+        if floor_from is not None and not floor_from.done:
+            # Park on the seed: released (through the admit queue, so
+            # the mutation-barrier check still applies) when it
+            # resolves.  Parked jobs hold no shards, pins or buses.
+            job._parked_for_floor = True
+            floor_from._dependents.append(job)
+        elif network in self._paused:
             self._backlog.setdefault(network, deque()).append(job)
         else:
             self._admit.put_nowait(job)
         if deadline_s is not None:
-            self._loop.call_later(deadline_s, self._expire, job)
+            # Keep the handle so _resolve can cancel it: a completed
+            # job with a long deadline must not leave a live timer
+            # behind (unbounded handle growth under sustained traffic).
+            job._deadline_handle = self._loop.call_later(
+                deadline_s, self._expire, job
+            )
         return job
 
     async def mine(
@@ -269,18 +339,139 @@ class Scheduler:
         *,
         priority: int = 0,
         deadline_s: float | None = None,
+        warm_start: bool | None = None,
     ) -> list[MiningResult]:
         """Submit a batch against one network and await all results.
 
         Unlike the blocking ``hub.sweep``, the batch holds no monopoly
         on the fleet: its shards interleave with every other admitted
-        job under the fairness policy.
+        job under the fairness policy.  The batch runs through the
+        admission planner (:meth:`submit_sweep`): dominance seeds are
+        mined first at boosted priority and warm-start the points they
+        dominate, unless ``warm_start`` (or the scheduler-wide switch)
+        turns that off.
         """
-        jobs = [
-            self.submit(network, request, priority=priority, deadline_s=deadline_s)
-            for request in requests
-        ]
+        jobs = self.submit_sweep(
+            network,
+            requests,
+            priority=priority,
+            deadline_s=deadline_s,
+            warm_start=warm_start,
+        )
         return list(await asyncio.gather(*jobs))
+
+    def submit_sweep(
+        self,
+        network: str,
+        requests: Iterable[MineRequest | Mapping],
+        *,
+        priority: int = 0,
+        deadline_s: float | None = None,
+        warm_start: bool | None = None,
+    ) -> list[ServeJob]:
+        """Plan and admit a co-submitted batch; returns jobs in order.
+
+        Two guarantees beyond a loop of :meth:`submit`:
+
+        * **All-or-nothing admission.**  Every request is validated
+          before any is submitted, and if a later submission still
+          fails, the already-admitted jobs of this batch are cancelled
+          — a rejected batch never leaves orphan jobs mining behind the
+          caller's error.
+        * **Warm-start planning.**  The batch is scanned for the
+          dominance relation of
+          :func:`~repro.engine.request.warmstart_dominates`.  For each
+          dominance group the point that dominates the most others is
+          submitted first at ``priority + 1`` (the *seed*); the points
+          it dominates park until the seed resolves and then admit with
+          its k-th-best score as their threshold-bus floor.  Points in
+          no dominance relation — and the whole batch when warm-start
+          is off — admit immediately with cold floors.
+        """
+        self._ensure_serving()
+        requests = [
+            req if isinstance(req, MineRequest) else MineRequest.create(**dict(req))
+            for req in requests
+        ]
+        engine = self.hub.engine(network)
+        use_warm = self.warm_start if warm_start is None else warm_start
+        seed_of: dict[int, int] = {}
+        seeds: list[int] = []
+        if use_warm and len(requests) > 1:
+            keys = [
+                request.canonical_key(
+                    engine.network.schema, engine.network.num_edges
+                )
+                for request in requests
+            ]
+            seeds, seed_of = self._plan_warmstart(keys)
+        jobs: list[ServeJob | None] = [None] * len(requests)
+        try:
+            for i in seeds:
+                # The seed's k-th best gates its dependents, so it goes
+                # first: one priority level above the batch.
+                jobs[i] = self.submit(
+                    network,
+                    requests[i],
+                    priority=priority + 1,
+                    deadline_s=deadline_s,
+                )
+                self._counters["warm_seeds"] += 1
+            for i, request in enumerate(requests):
+                if jobs[i] is not None:
+                    continue
+                source = jobs[seed_of[i]] if i in seed_of else None
+                jobs[i] = self.submit(
+                    network,
+                    request,
+                    priority=priority,
+                    deadline_s=deadline_s,
+                    floor_from=source,
+                )
+        except BaseException:
+            for job in jobs:
+                if job is not None and not job.done:
+                    job.cancel("sweep submission failed")
+            raise
+        return jobs
+
+    @staticmethod
+    def _plan_warmstart(keys: list[tuple]) -> tuple[list[int], dict[int, int]]:
+        """Pick dominance seeds for a batch of canonical keys.
+
+        Greedy single-level cover: repeatedly promote the unassigned
+        point that dominates the most still-unassigned others to a
+        seed, until no point dominates anything.  Identical keys never
+        dominate each other (that is the dedup path), and points under
+        no dominance run cold.
+        """
+        n = len(keys)
+        dominated = {
+            i: [
+                j
+                for j in range(n)
+                if j != i and warmstart_dominates(keys[i], keys[j])
+            ]
+            for i in range(n)
+        }
+        seeds: list[int] = []
+        seed_of: dict[int, int] = {}
+        taken: set[int] = set()
+        while True:
+            best, best_cover = None, []
+            for i in range(n):
+                if i in taken:
+                    continue
+                cover = [j for j in dominated[i] if j not in taken]
+                if len(cover) > len(best_cover):
+                    best, best_cover = i, cover
+            if best is None or not best_cover:
+                return seeds, seed_of
+            seeds.append(best)
+            taken.add(best)
+            for j in best_cover:
+                taken.add(j)
+                seed_of[j] = best
 
     def job(self, job_id: str) -> ServeJob:
         """Look up a (recent) job by id."""
@@ -336,10 +527,18 @@ class Scheduler:
 
     def _drainable_active(self, network: str) -> int:
         """Live jobs the barrier must wait for: active minus parked ones
-        (backlogged jobs hold no shard tasks, pins or buses — they were
-        never prepared — so the delta may safely run over them)."""
+        (backlogged jobs and warm-start dependents still parked on their
+        seed hold no shard tasks, pins or buses — they were never
+        prepared — so the delta may safely run over them; a parked
+        dependent whose seed lands in the backlog would otherwise
+        deadlock the barrier against itself)."""
         parked = sum(
             1 for j in self._backlog.get(network, ()) if not j.done
+        )
+        parked += sum(
+            1
+            for j in self._jobs.values()
+            if j.network == network and j._parked_for_floor and not j.done
         )
         return self._active_by_network.get(network, 0) - parked
 
@@ -381,14 +580,34 @@ class Scheduler:
         if job.cancel_requested:
             await self._finalize(job)
             return
+        # Single-flight: identical to an in-flight execution -> attach
+        # as a follower and stop; otherwise register as the leader for
+        # this key.  (Admission of a network's jobs never overlaps its
+        # append_edges barrier, so the fingerprint read is stable.)
+        job.dedup_key = (job.network,) + engine.query_key(job.request)
+        if self.dedup:
+            leader = self._singleflight.get(job.dedup_key)
+            if (
+                leader is not None
+                and leader is not job
+                and not leader.done
+                and not leader.cancel_requested
+            ):
+                self._attach_follower(leader, job)
+                return
+            self._singleflight[job.dedup_key] = job
+        floor = self._floor_for(job)
         # While the admitter owns the job (prepare, serial/inline
         # execution), cancellation defers to the checkpoints below —
         # a concurrent _finalize would release the bus/pin before the
         # coordinator even handed them over.
         job._executing = True
         try:
-            prepared = await self._run_coord(self._prepare_sync, engine, job)
+            prepared = await self._run_coord(self._prepare_sync, engine, job, floor)
             job._prepared = prepared
+            job.warm_floor = prepared.floor
+            if prepared.floor is not None:
+                self._counters["warm_started"] += 1
             if job.cancel_requested:
                 await self._finalize(job)
                 return
@@ -438,14 +657,58 @@ class Scheduler:
         self._enter_ready(job)
         self._fill_slots()
 
-    def _prepare_sync(self, engine, job: ServeJob):
+    def _prepare_sync(self, engine, job: ServeJob, floor=None):
         # Runs on the coordinator thread.  The pin must precede the
         # prepare: prepare resolves the store handle (possibly exporting
         # a lease), and an interleaved prepare for another network must
         # not budget-evict it while this job's tasks still address it.
         self.hub.pin_lease(job.network)
         job._pinned = True
-        return engine.prepare(job.request)
+        return engine.prepare(job.request, floor=floor)
+
+    def _attach_follower(self, leader: ServeJob, job: ServeJob) -> None:
+        """Ride ``leader``'s execution instead of mining again."""
+        job._leader = leader
+        job.deduped = True
+        leader._followers.append(job)
+        self._counters["deduped"] += 1
+
+    def _floor_for(self, job: ServeJob) -> float | None:
+        """The warm-start floor this job admits with, or ``None``.
+
+        Dominance is decided *now*, against live canonical keys — the
+        plan made at submit time is only a hint.  A seed that was
+        cancelled, failed, returned fewer than ``k`` results, or ran
+        over a different store version (fingerprint mismatch after an
+        append-edge delta) degrades to a cold floor, never to an
+        unsound one.
+
+        No master-switch check here: a floor source is only ever set by
+        an explicit ``floor_from=`` or by batch planning that was
+        already gated on the switch/override — vetoing it again would
+        silently strip the floor from a ``warm_start=True`` batch on a
+        default-off scheduler after it paid the seed-first serialization.
+        """
+        source, job._floor_source = job._floor_source, None
+        if source is None:
+            return None
+        if source.state is not JobState.DONE:
+            return None
+        if source.dedup_key is None or job.dedup_key is None:
+            return None
+        seed_net, seed_fp, seed_ck = source.dedup_key
+        dep_net, dep_fp, dep_ck = job.dedup_key
+        if seed_net != dep_net or seed_fp != dep_fp:
+            return None
+        if not warmstart_dominates(seed_ck, dep_ck):
+            return None
+        result = source.future.result()
+        k = job.request.k
+        if k is None or len(result.grs) != k:
+            # Fewer than k seed results certify fewer than k dependent
+            # results — not enough to bound the dependent's top-k.
+            return None
+        return float(result.grs[-1].score)
 
     def _run_coord(self, fn, *args):
         return self._loop.run_in_executor(self._coordinator, lambda: fn(*args))
@@ -461,22 +724,33 @@ class Scheduler:
             if j._inflight > 0 and not j.done
         )
         if job.network not in active:
-            # A network waking from idle must not burst through credit
-            # it accumulated while absent: clamp to the active minimum.
+            # A network waking from idle re-enters *at* the active
+            # minimum, from either side: clamping up keeps it from
+            # bursting through credit accumulated while absent, and
+            # clamping back down keeps a stale vtime surplus (run up
+            # before it idled) from starving it behind fresher networks
+            # until they catch up.
             floor = min(
                 (self._vtime.get(n, 0.0) for n in active), default=0.0
             )
-            self._vtime[job.network] = max(
-                self._vtime.get(job.network, 0.0), floor
-            )
+            self._vtime[job.network] = floor
         self._ready.append(job)
 
     def _pick(self) -> ServeJob | None:
-        """The next job to advance: priority, then fair share, then FIFO."""
+        """The next job to advance: priority, then fair share, then FIFO.
+
+        Priority is the *effective* one — a leader with a
+        higher-priority follower attached dispatches at the follower's
+        level, so single-flight never slows the most urgent attachee.
+        """
         best = None
         best_rank = None
         for job in self._ready:
-            rank = (-job.priority, self._vtime.get(job.network, 0.0), job.seq)
+            rank = (
+                -job.effective_priority,
+                self._vtime.get(job.network, 0.0),
+                job.seq,
+            )
             if best_rank is None or rank < best_rank:
                 best, best_rank = job, rank
         return best
@@ -516,6 +790,10 @@ class Scheduler:
             pass  # loop already closed under a forced teardown
 
     def _on_shard(self, job: ServeJob, result, exc) -> None:
+        # A shard dispatched under a since-cancelled leader belongs to
+        # whoever inherited the execution.
+        while job._moved_to is not None:
+            job = job._moved_to
         self._inflight_slots -= 1
         self._counters["shards_completed"] += 1
         job._inflight -= 1
@@ -595,6 +873,13 @@ class Scheduler:
         job.state = state
         job.finished_at = self._loop.time()
         job._finalized = True
+        if job._deadline_handle is not None:
+            # Timer-leak fix: a resolved job must not leave its deadline
+            # timer live until it fires (only to find the job done).
+            job._deadline_handle.cancel()
+            job._deadline_handle = None
+        if self._singleflight.get(job.dedup_key) is job:
+            del self._singleflight[job.dedup_key]
         if state is JobState.DONE:
             self._counters["completed"] += 1
             if not job.future.done():
@@ -612,6 +897,39 @@ class Scheduler:
                     # Cancellation is a normal outcome the caller may
                     # never await; don't log it as an unretrieved error.
                     job.future.exception()
+        # Single-flight fan-out: every follower still attached shares
+        # this outcome — a private snapshot of the result (mutating one
+        # caller's copy must not reach another's), the same error, or —
+        # when a cancelled leader could not promote (shutdown, or a
+        # coordinator-bound mode) — a trip back through admission.
+        followers, job._followers = job._followers, []
+        snapshot = (
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            if state is JobState.DONE and followers
+            else None
+        )
+        for follower in followers:
+            if follower.done:
+                continue
+            follower._leader = None
+            if state is JobState.DONE:
+                self._resolve(
+                    follower, JobState.DONE, result=pickle.loads(snapshot)
+                )
+            elif state is JobState.FAILED:
+                self._resolve(follower, JobState.FAILED, error=error)
+            else:
+                follower.deduped = False
+                self._admit.put_nowait(follower)
+        # Warm-start fan-out: dependents parked on this job re-enter
+        # admission (their floor — or a cold fallback — is decided
+        # there, against live fingerprints).
+        dependents, job._dependents = job._dependents, []
+        for dependent in dependents:
+            if dependent.done:
+                continue
+            dependent._parked_for_floor = False
+            self._admit.put_nowait(dependent)
         remaining = self._active_by_network.get(job.network, 1) - 1
         if remaining > 0:
             self._active_by_network[job.network] = remaining
@@ -646,6 +964,44 @@ class Scheduler:
             return
         job.cancel_requested = True
         job.cancel_reason = reason
+        leader = job._leader
+        if leader is not None:
+            # Follower: detach from the shared execution — which keeps
+            # running for the leader and any remaining followers — and
+            # settle.  A follower holds no shards, bus or pins.
+            job._leader = None
+            if job in leader._followers:
+                leader._followers.remove(job)
+            self._loop.create_task(self._finalize(job))
+            return
+        followers = [f for f in job._followers if not f.done]
+        # A leader whose finalize already started (_finalized) is about
+        # to resolve: its _resolve fan-out will deliver the outcome to
+        # the still-attached followers, and its finish may be mid-merge
+        # on the coordinator — neither promoting (which would mutate
+        # _prepared under that merge) nor detaching is correct then.
+        if followers and not job._finalized:
+            if (
+                job._prepared is not None
+                and job._prepared.mode == "pooled"
+                and job.state in (JobState.READY, JobState.RUNNING)
+                and not job._executing
+            ):
+                # In-flight pooled execution: hand it to a follower
+                # rather than throwing the work away.
+                self._promote_follower(job, followers)
+            else:
+                # Nothing promotable in flight (still preparing, or
+                # coordinator-bound): detach and re-plan the followers —
+                # the first one re-admitted becomes a fresh leader
+                # (often a cache hit if this execution still lands).
+                if self._singleflight.get(job.dedup_key) is job:
+                    del self._singleflight[job.dedup_key]
+                job._followers = []
+                for follower in followers:
+                    follower._leader = None
+                    follower.deduped = False
+                    self._admit.put_nowait(follower)
         if job._queue:
             job._queue.clear()
             if job in self._ready:
@@ -660,6 +1016,46 @@ class Scheduler:
         # settled while its remaining ones sat queued behind other
         # jobs) — so settle it now; the admitter skips done jobs.
         self._loop.create_task(self._finalize(job))
+
+    def _promote_follower(self, leader: ServeJob, followers: list[ServeJob]) -> None:
+        """Transfer a cancelled leader's pooled execution to a follower.
+
+        The heir (highest priority, earliest on ties) inherits the
+        prepared query, the remaining task queue, the in-flight shard
+        accounting, partial shard results and the lease pin; shard
+        completions dispatched under the leader are redirected through
+        ``_moved_to``.  The leader is left holding nothing, so its own
+        cancel path settles it without touching the bus or pin it no
+        longer owns.
+        """
+        heir = max(followers, key=lambda f: (f.priority, -f.seq))
+        heir._leader = None
+        heir.deduped = False
+        heir._followers = [f for f in followers if f is not heir]
+        for follower in heir._followers:
+            follower._leader = heir
+        leader._followers = []
+        heir._prepared, leader._prepared = leader._prepared, None
+        heir._queue, leader._queue = leader._queue, deque()
+        heir._inflight, leader._inflight = leader._inflight, 0
+        heir._shard_results, leader._shard_results = leader._shard_results, []
+        heir.shards_total = leader.shards_total
+        heir.shards_done = leader.shards_done
+        heir._pinned, leader._pinned = leader._pinned, False
+        heir.warm_floor = leader.warm_floor
+        heir.state = leader.state
+        leader._moved_to = heir
+        if self._singleflight.get(leader.dedup_key) is leader:
+            self._singleflight[leader.dedup_key] = heir
+        for i, ready in enumerate(self._ready):
+            if ready is leader:
+                self._ready[i] = heir
+                break
+        if heir._inflight == 0 and not heir._queue and not heir.done:
+            # Every shard had already settled when the leader was
+            # cancelled (its finalize had not run yet): no completion
+            # callback will ever fire again, so settle the heir now.
+            self._loop.create_task(self._finalize(heir))
 
     def _expire(self, job: ServeJob) -> None:
         if not job.done:

@@ -413,6 +413,43 @@ class TestDiskCacheEviction:
         assert len(cache) == 1 and cache.get(("fp", "new")) == 3
         cache.close()
 
+    def test_ttl_aware_introspection(self, tmp_path, monkeypatch):
+        """Regression: ``__contains__`` and ``__len__`` reported
+        TTL-expired rows that ``get`` would refuse to serve, so
+        ``key in cache`` disagreed with ``cache.get(key)``."""
+        import repro.engine.cache as cache_module
+
+        clock = [0.0]
+        monkeypatch.setattr(cache_module, "_now", lambda: clock[0])
+        cache = DiskResultCache(tmp_path / "intro.sqlite", ttl_seconds=10.0)
+        cache.put(("fp", "k"), 1)
+        assert ("fp", "k") in cache and len(cache) == 1
+        clock[0] = 11.0
+        assert ("fp", "k") not in cache  # agrees with get()
+        assert len(cache) == 0
+        # Introspection is non-mutating: the row is still on disk for
+        # the lazy expiry on access to account for.
+        assert cache.expirations == 0
+        assert cache.get(("fp", "k")) is None
+        assert cache.expirations == 1
+        cache.close()
+
+    def test_tiered_contains_is_ttl_aware(self, tmp_path, monkeypatch):
+        import repro.engine.cache as cache_module
+
+        clock = [0.0]
+        monkeypatch.setattr(cache_module, "_now", lambda: clock[0])
+        disk = DiskResultCache(tmp_path / "tiered.sqlite", ttl_seconds=10.0)
+        # A zero-capacity memory tier forces every probe to the disk
+        # tier, whose TTL view is the one under test.
+        tiered = TieredResultCache(ResultCache(0), disk)
+        tiered.put(("fp", "k"), 1)
+        assert ("fp", "k") in tiered
+        clock[0] = 11.0
+        assert ("fp", "k") not in tiered
+        assert tiered.get(("fp", "k")) is None
+        tiered.close()
+
     def test_pre_eviction_files_are_migrated_in_place(self, tmp_path):
         import pickle
         import sqlite3

@@ -398,6 +398,187 @@ class TestCancellation:
         asyncio.run(scenario())
 
 
+class TestFairnessWakeClamp:
+    def test_stale_vtime_clamps_down_to_active_floor(self):
+        """Regression: a network that accumulated vtime, went idle, and
+        re-woke next to a fresh network kept its stale credit deficit
+        (the old code only clamped *up*) and was starved until the
+        fresh network caught up.  On wake, vtime must re-enter AT the
+        active floor, from either side."""
+        import types
+
+        def ghost(network):
+            # Minimal ready-set occupant: _enter_ready only consults
+            # the networks of jobs already ready or in flight.
+            return types.SimpleNamespace(
+                network=network, _inflight=0, done=False
+            )
+
+        async def scenario():
+            with EngineHub(workers=1) as hub:
+                hub.register("stale", _make_network(19))
+                hub.register("fresh", _make_network(20))
+                async with Scheduler(hub, prewarm=False) as scheduler:
+                    # Simulated history: "stale" served many shards and
+                    # idled; "fresh" is active at a much lower vtime.
+                    scheduler._vtime = {"stale": 40.0, "fresh": 3.0}
+                    scheduler._ready.append(ghost("fresh"))
+                    scheduler._enter_ready(ghost("stale"))
+                    down_clamped = scheduler._vtime["stale"]
+                    # The original up-clamp still holds: an idle network
+                    # below the floor cannot burst with banked credit.
+                    scheduler._vtime["lazy"] = 0.5
+                    scheduler._enter_ready(ghost("lazy"))
+                    up_clamped = scheduler._vtime["lazy"]
+                    scheduler._ready.clear()
+                    return down_clamped, up_clamped
+
+        down_clamped, up_clamped = asyncio.run(scenario())
+        assert down_clamped == 3.0  # was 40.0 before the fix -> starved
+        assert up_clamped == 3.0
+
+    def test_two_network_idle_gap_traffic_stays_live(self):
+        """End-to-end companion: after one network runs alone for a
+        while, idles, and re-wakes against a fresh network, both keep
+        completing (no starvation stall) and its re-entry vtime sits at
+        the active floor."""
+        async def scenario():
+            with EngineHub(workers=2) as hub:
+                hub.register("a", _make_network(19))
+                hub.register("b", _make_network(20))
+                async with Scheduler(hub) as scheduler:
+                    # Phase 1: "a" alone accumulates vtime.
+                    await scheduler.sweep("a", [
+                        MineRequest(k=k, min_support=1, min_nhp=0.3, workers=2)
+                        for k in (5, 8)
+                    ])
+                    vtime_a = scheduler._vtime["a"]
+                    assert vtime_a > 0
+                    # Idle gap, then "b" (fresh) and "a" (waking) race.
+                    jobs = [
+                        scheduler.submit(
+                            "b", k=6, min_support=1, min_nhp=0.3, workers=2
+                        ),
+                        scheduler.submit(
+                            "a", k=6, min_support=2, min_nhp=0.4, workers=2
+                        ),
+                    ]
+                    await asyncio.gather(*jobs)
+                    # The waking network was clamped to the floor, not
+                    # left with its phase-1 surplus.
+                    return vtime_a, scheduler._vtime["a"]
+
+        vtime_a, rewoken = asyncio.run(scenario())
+        assert rewoken < vtime_a + 2.0  # re-entered near the floor
+
+
+class TestDeadlineTimerHygiene:
+    def test_resolved_job_cancels_its_deadline_timer(self):
+        """Regression: ``submit`` armed ``loop.call_later`` and dropped
+        the handle, so every completed job with a long deadline left a
+        live timer until it fired — unbounded growth under traffic."""
+        async def scenario():
+            with EngineHub(workers=1) as hub:
+                hub.register("n", _make_network(21))
+                async with Scheduler(hub, prewarm=False) as scheduler:
+                    job = scheduler.submit(
+                        "n", k=3, min_support=2, min_nhp=0.5,
+                        deadline_s=3600.0,
+                    )
+                    armed = job._deadline_handle is not None
+                    await job
+                    assert job.state is JobState.DONE
+                    return armed, job._deadline_handle
+
+        armed, handle = asyncio.run(scenario())
+        assert armed  # the timer was kept on the job...
+        assert handle is None  # ...and cancelled+cleared on resolution
+
+
+class TestSweepAtomicSubmission:
+    def test_scheduler_sweep_validates_before_admitting(self):
+        """Regression: an invalid spec mid-batch used to leave the
+        earlier specs' jobs mining (holding slots) after the caller got
+        the error."""
+        async def scenario():
+            with EngineHub(workers=1) as hub:
+                hub.register("n", _make_network(22))
+                async with Scheduler(hub, prewarm=False) as scheduler:
+                    with pytest.raises(ValueError):
+                        await scheduler.sweep("n", [
+                            {"k": 5, "min_nhp": 0.4},
+                            {"k": 5, "min_support": 1.0},  # ambiguous
+                        ])
+                    live = [
+                        j for j in scheduler._jobs.values() if not j.done
+                    ]
+                    return scheduler.stats()["submitted"], live
+
+        submitted, live = asyncio.run(scenario())
+        assert submitted == 0 and live == []
+
+    def test_late_submission_failure_cancels_admitted_jobs(self, monkeypatch):
+        """If a later *submission* (not validation) fails, the batch's
+        already-admitted jobs are cancelled rather than orphaned."""
+        calls = []
+        original = Scheduler.submit
+
+        def flaky(self, network, request=None, **kwargs):
+            calls.append(network)
+            if len(calls) == 2:
+                raise RuntimeError("boom")
+            return original(self, network, request, **kwargs)
+
+        monkeypatch.setattr(Scheduler, "submit", flaky)
+
+        async def scenario():
+            with EngineHub(workers=1) as hub:
+                hub.register("n", _make_network(23))
+                async with Scheduler(hub, prewarm=False) as scheduler:
+                    requests = [
+                        MineRequest(k=5, min_support=2, min_nhp=0.4),
+                        MineRequest(k=6, min_support=2, min_nhp=0.4),
+                    ]
+                    with pytest.raises(RuntimeError, match="boom"):
+                        scheduler.submit_sweep("n", requests)
+                    survivors = [
+                        j for j in scheduler._jobs.values()
+                        if not j.done and not j.cancel_requested
+                    ]
+                    return survivors
+
+        assert asyncio.run(scenario()) == []
+
+    def test_http_sweep_rejects_batch_without_orphans(self):
+        """The HTTP facade parses every spec before admitting any job:
+        a bad spec at position i returns 400 with zero jobs admitted
+        (the pre-fix code had already submitted specs 0..i-1)."""
+        async def scenario():
+            with EngineHub(workers=1) as hub:
+                hub.register("n", _make_network(24))
+                async with Scheduler(hub, prewarm=False) as scheduler:
+                    async with ServeHTTP(scheduler, port=0) as server:
+                        status, payload = await _http(
+                            server.port, "POST", "/networks/n/sweep",
+                            {"requests": [
+                                {"k": 4, "min_nhp": 0.4},
+                                # ambiguous min_support fails request
+                                # *validation* -> the whole batch is 400
+                                {"k": 4, "min_support": 1.0},
+                            ]},
+                        )
+                        assert status == 400
+                        assert scheduler.stats()["submitted"] == 0
+                        status, _ = await _http(
+                            server.port, "POST", "/networks/n/sweep",
+                            {"requests": [{"k": 4, "min_nhp": 0.4}],
+                             "warm_start": "yes"},
+                        )
+                        assert status == 400  # knob must be boolean
+
+        asyncio.run(scenario())
+
+
 class TestAppendEdgesBarrier:
     def test_delta_drains_then_serves_new_edge_set(self):
         network = _make_network(10)
@@ -734,3 +915,8 @@ class TestServeValidation:
         assert args.register == ["a=/tmp/x", "b=/tmp/y"]
         assert args.max_inflight == 3 and args.weight == ["a=2.5"]
         assert args.disk_cache_max_bytes == 1000 and args.disk_cache_ttl == 60.0
+        assert not args.no_dedup and not args.no_warm_start  # defaults on
+        args = build_parser().parse_args(
+            ["serve", "--register", "a=/tmp/x", "--no-dedup", "--no-warm-start"]
+        )
+        assert args.no_dedup and args.no_warm_start
