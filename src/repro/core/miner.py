@@ -56,6 +56,7 @@ __all__ = [
     "CKEY_RANK_BY",
     "GRMiner",
     "MinerConfig",
+    "config_from_canonical_key",
     "mine_top_k",
 ]
 
@@ -222,6 +223,64 @@ class MinerConfig:
                 else None
             ),
         )
+
+
+def config_from_canonical_key(key: tuple) -> MinerConfig:
+    """Rebuild a :class:`MinerConfig` from a canonical key.
+
+    The inverse of :meth:`MinerConfig.canonical_key`, up to the
+    equivalences the key intentionally erases: fractional ``min_support``
+    comes back as the absolute count it resolved to (which is
+    edge-count-independent, so the round trip
+    ``config_from_canonical_key(k).canonical_key(schema, any_E) == k``
+    holds for every ``any_E``), masked fields (``laplace_k`` under a
+    non-laplace ranking, ``gain_theta`` under non-gain,
+    ``verify_generality`` without a dynamic top-k) come back as their
+    defaults, and ``node_attributes`` / ``include_trivial`` come back
+    explicitly resolved.
+
+    This is what lets the engine's delta migrator re-mine *for a cache
+    entry*: the entry's key is all that survives in the cache, and this
+    turns it back into a runnable query.
+    """
+    (
+        abs_support,
+        min_score,
+        k,
+        rank_by,
+        push_topk,
+        push_score_pruning,
+        dynamic_rhs_ordering,
+        node_attributes,
+        include_trivial,
+        allow_empty_lhs,
+        max_lhs_attrs,
+        max_rhs_attrs,
+        max_edge_attrs,
+        apply_generality,
+        laplace_k,
+        gain_theta,
+        verify_generality,
+    ) = key
+    return MinerConfig(
+        min_support=int(abs_support),
+        min_score=float(min_score),
+        k=k,
+        rank_by=rank_by,
+        push_topk=push_topk,
+        push_score_pruning=push_score_pruning,
+        dynamic_rhs_ordering=dynamic_rhs_ordering,
+        node_attributes=tuple(node_attributes),
+        include_trivial=include_trivial,
+        allow_empty_lhs=allow_empty_lhs,
+        max_lhs_attrs=max_lhs_attrs,
+        max_rhs_attrs=max_rhs_attrs,
+        max_edge_attrs=max_edge_attrs,
+        apply_generality=apply_generality,
+        laplace_k=laplace_k if laplace_k is not None else 2,
+        gain_theta=gain_theta if gain_theta is not None else 0.5,
+        verify_generality=verify_generality if verify_generality is not None else True,
+    )
 
 
 class _ColumnCache:

@@ -48,8 +48,64 @@ __all__ = [
     "SharedStoreExport",
     "SharedStoreHandle",
     "SharedStoreLease",
+    "StoreDelta",
     "attach_shared_store",
 ]
+
+
+@dataclass(frozen=True)
+class StoreDelta:
+    """Structured description of one append-edge rebuild.
+
+    Produced by :meth:`CompactStore.apply_delta`: the store compares the
+    backing network's edge count against the count it was last built
+    from, so the *tail* rows ``[num_edges_before, num_edges_after)`` of
+    the network arrays are exactly the appended edges.
+
+    ``touched_partitions`` is the delta's footprint on the SFDF tree's
+    first level: the set of ``(node attribute name, source code)``
+    pairs matched by at least one new edge's source — i.e. every
+    first-level LEFT branch whose edge subset grew.  A first-level
+    branch *not* in this set kept its edge subset bit-for-bit (a GR's
+    l∧w edge set can only change when some new edge matches its full
+    LHS, which in particular matches the branch assignment), which is
+    the invariant the engine's incremental re-mining leans on.  GRs
+    with an *empty* LHS select over all edges, so the root branch is
+    touched by every non-empty delta.
+
+    ``untracked`` marks a delta the store could not account for (the
+    network shrank or was swapped out from under it — something other
+    than :meth:`SocialNetwork.append_edges` mutated it).  Consumers
+    must treat an untracked delta as "anything may have changed" and
+    fall back to full invalidation.
+    """
+
+    num_edges_before: int
+    num_edges_after: int
+    #: Source / destination node ids of the appended edges (network
+    #: row order; empty for an untracked delta).
+    new_src: np.ndarray = None
+    new_dst: np.ndarray = None
+    #: ``(node attribute name, source code)`` pairs whose first-level
+    #: branch gained at least one edge.
+    touched_partitions: frozenset = frozenset()
+    untracked: bool = False
+
+    @property
+    def num_new_edges(self) -> int:
+        return self.num_edges_after - self.num_edges_before
+
+    def touched_sources(self) -> frozenset:
+        """Node ids appearing as a source of some appended edge."""
+        if self.new_src is None:
+            return frozenset()
+        return frozenset(int(v) for v in self.new_src)
+
+    def touched_destinations(self) -> frozenset:
+        """Node ids appearing as a destination of some appended edge."""
+        if self.new_dst is None:
+            return frozenset()
+        return frozenset(int(v) for v in self.new_dst)
 
 
 class CompactStore:
@@ -113,7 +169,7 @@ class CompactStore:
         self._num_edges = num_edges
         self._fingerprint: str | None = None
 
-    def apply_delta(self) -> None:
+    def apply_delta(self) -> StoreDelta:
         """Re-derive the store after the backing network appended edges.
 
         The node columns are untouched by an append-edge delta; this
@@ -124,8 +180,38 @@ class CompactStore:
         caches (per-edge column gathers, first-level partitions, shared
         exports) must rebuild them: the engine layer's
         ``refresh_store()`` does exactly that.
+
+        Returns a :class:`StoreDelta` describing what changed: the
+        appended tail rows plus their first-level partition footprint
+        (the input of the engine's incremental re-mining differ).  A
+        mutation the store cannot attribute to an edge append — the
+        network's edge count went *down*, meaning something replaced the
+        arrays wholesale — yields an ``untracked`` delta, which
+        consumers must treat as a full invalidation.
         """
+        before = self._num_edges
+        network = self.network
+        after = network.num_edges
+        if after < before:
+            self._rebuild()
+            return StoreDelta(
+                num_edges_before=before, num_edges_after=after, untracked=True
+            )
+        new_src = np.array(network.src[before:after], dtype=np.int64)
+        new_dst = np.array(network.dst[before:after], dtype=np.int64)
+        touched = frozenset(
+            (name, int(code))
+            for name in network.schema.node_attribute_names
+            for code in np.unique(network.node_column(name)[new_src])
+        )
         self._rebuild()
+        return StoreDelta(
+            num_edges_before=before,
+            num_edges_after=after,
+            new_src=new_src,
+            new_dst=new_dst,
+            touched_partitions=touched,
+        )
 
     # ------------------------------------------------------------------
     # Sizes (the Section IV-A storage claim)

@@ -17,6 +17,7 @@ result cache that can persist to disk between processes
 """
 
 from .cache import DiskResultCache, ResultCache, TieredResultCache
+from .delta import MigrationReport, migrate_fingerprint
 from .engine import EngineStats, MiningEngine, PreparedQuery
 from .hub import EngineHub
 from .request import MineRequest
@@ -25,9 +26,11 @@ __all__ = [
     "DiskResultCache",
     "EngineHub",
     "EngineStats",
+    "MigrationReport",
     "MineRequest",
     "MiningEngine",
     "PreparedQuery",
     "ResultCache",
     "TieredResultCache",
+    "migrate_fingerprint",
 ]

@@ -9,7 +9,7 @@ return stale results, and caches may be shared across networks (an
 registered networks; fingerprints keep the entries apart).
 
 Three tiers with one contract (``get`` / ``put`` / ``purge_fingerprint``
-/ ``clear`` / ``close``):
+/ ``take_fingerprint`` / ``clear`` / ``close``):
 
 * :class:`ResultCache` — in-memory LRU.  Entries are stored as pickled
   *snapshots*: ``put`` serializes, ``get`` deserializes, so every caller
@@ -110,6 +110,25 @@ class ResultCache:
         for key in stale:
             del self._entries[key]
         return len(stale)
+
+    def take_fingerprint(self, fingerprint: str) -> list[tuple]:
+        """Remove and return ``(key, value)`` for every entry under
+        ``fingerprint``.
+
+        The destructive read behind delta *migration*: the engine takes
+        a superseded fingerprint's entries, re-keys the ones it can
+        prove still valid and drops the rest — either way the stale keys
+        are gone, so a half-completed migration degrades to today's
+        purge, never to serving a stale entry.  Values are deserialized
+        snapshots, private to the caller like ``get``'s.
+        """
+        taken = []
+        for key in [
+            key for key in self._entries if _key_fingerprint(key) == fingerprint
+        ]:
+            blob = self._entries.pop(key)
+            taken.append((key, pickle.loads(blob)))
+        return taken
 
     def clear(self) -> None:
         self._entries.clear()
@@ -336,6 +355,37 @@ class DiskResultCache:
             except sqlite3.Error:
                 return 0
 
+    def take_fingerprint(self, fingerprint: str) -> list[tuple]:
+        """Remove and return ``(key, value)`` for every row under
+        ``fingerprint`` (see :meth:`ResultCache.take_fingerprint`).
+
+        Keys are recovered from the pickled ``ckey`` blobs.  Rows whose
+        key or value no longer unpickles (truncated write, version skew)
+        are deleted but not returned — for those the take degrades to a
+        purge, matching this tier's corruption-tolerance contract.
+        """
+        with self._lock:
+            if self._conn is None:
+                return []
+            try:
+                rows = self._conn.execute(
+                    "SELECT ckey, value FROM results WHERE fingerprint = ?",
+                    (fingerprint,),
+                ).fetchall()
+                self._conn.execute(
+                    "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+                )
+                self._conn.commit()
+            except sqlite3.Error:
+                return []
+            taken = []
+            for ckey_blob, value_blob in rows:
+                try:
+                    taken.append((pickle.loads(ckey_blob), pickle.loads(value_blob)))
+                except Exception:
+                    continue
+            return taken
+
     def _delete(self, fingerprint: str, ckey: bytes) -> None:
         try:
             self._conn.execute(
@@ -455,6 +505,18 @@ class TieredResultCache:
     def purge_fingerprint(self, fingerprint: str) -> int:
         purged = self.memory.purge_fingerprint(fingerprint)
         return purged + self.disk.purge_fingerprint(fingerprint)
+
+    def take_fingerprint(self, fingerprint: str) -> list[tuple]:
+        """Remove and return the fingerprint's entries from both tiers.
+
+        Deduplicated by key — a memory hit is also persisted on disk,
+        and counting it twice would double both the migration work and
+        the migrated/purged stats.  The memory tier's copy wins (it is
+        never older than the disk row it was promoted from).
+        """
+        taken = dict(self.disk.take_fingerprint(fingerprint))
+        taken.update(self.memory.take_fingerprint(fingerprint))
+        return list(taken.items())
 
     def clear(self) -> None:
         self.memory.clear()

@@ -39,7 +39,7 @@ from typing import Iterable, Mapping
 from ..core.miner import GRMiner, MinerConfig
 from ..core.results import MiningResult
 from ..data.network import SocialNetwork
-from ..data.store import CompactStore, SharedStoreHandle, SharedStoreLease
+from ..data.store import CompactStore, SharedStoreHandle, SharedStoreLease, StoreDelta
 from ..parallel.miner import (
     check_worker_count,
     execute_shards_inline,
@@ -50,6 +50,7 @@ from ..parallel.planner import plan_shards
 from ..parallel.pool import BusPool, PersistentWorkerPool, default_start_method
 from ..parallel.worker import ShardTask
 from .cache import ResultCache
+from .delta import migrate_fingerprint
 from .request import MineRequest
 
 __all__ = ["EngineStats", "MiningEngine", "PreparedQuery"]
@@ -73,8 +74,15 @@ class EngineStats:
     cache_misses: int = 0
     #: Store-delta invalidation events (append_edges → new fingerprint).
     invalidations: int = 0
-    #: Cache entries explicitly purged by those invalidations.
+    #: Cache entries dropped by those invalidations (they re-mine cold).
     purged_entries: int = 0
+    #: Cache entries *migrated* across an invalidation instead: carried
+    #: over to the new fingerprint with only touched branches re-mined
+    #: (see :mod:`repro.engine.delta`).
+    migrated_entries: int = 0
+    #: Migration attempts that failed a safety check and degraded to a
+    #: purge (a subset of ``purged_entries``).
+    migration_fallbacks: int = 0
     #: Pooled queries whose threshold bus was checked out pre-seeded
     #: with a warm-start floor (see :meth:`MiningEngine.prepare`).
     warm_starts: int = 0
@@ -88,6 +96,8 @@ class EngineStats:
             "cache_misses": self.cache_misses,
             "invalidations": self.invalidations,
             "purged_entries": self.purged_entries,
+            "migrated_entries": self.migrated_entries,
+            "migration_fallbacks": self.migration_fallbacks,
             "warm_starts": self.warm_starts,
         }
 
@@ -200,6 +210,9 @@ class MiningEngine:
         self._buses: BusPool | None = None
         self._warned_clamp = False
         self._closed = False
+        #: Non-None after a failed (and unrecovered) append_edges: the
+        #: reason queries must fail loudly instead of serving stale data.
+        self._poisoned: str | None = None
 
     # ------------------------------------------------------------------
     # Serving
@@ -521,32 +534,75 @@ class MiningEngine:
     # ------------------------------------------------------------------
     # Store mutation (append-edge deltas)
     # ------------------------------------------------------------------
-    def append_edges(self, src, dst, edge_codes=None) -> str:
+    def append_edges(self, src, dst, edge_codes=None, on_duplicate: str = "allow") -> str:
         """Apply an append-edge delta to the served network, safely.
 
-        Appends the edges (:meth:`SocialNetwork.append_edges`), rebuilds
-        the store's edge-derived arrays
-        (:meth:`CompactStore.apply_delta`) and then
-        :meth:`refresh_store`s the serving state.  Returns the new store
-        fingerprint.  Do not mutate ``engine.network`` directly — the
-        engine would keep serving pre-delta results from its caches.
+        Appends the edges (:meth:`SocialNetwork.append_edges`, whose
+        ``on_duplicate`` policy passes through), rebuilds the store's
+        edge-derived arrays (:meth:`CompactStore.apply_delta`) and then
+        :meth:`refresh_store`s the serving state, handing the returned
+        :class:`~repro.data.store.StoreDelta` to the cache migrator.
+        Returns the new store fingerprint.  Do not mutate
+        ``engine.network`` directly — the engine would keep serving
+        pre-delta results from its caches.
+
+        An empty delta short-circuits after validation: nothing changed,
+        so neither the store rebuild nor the refresh is paid.
+
+        The post-mutation sequence is transactional: once the network
+        has mutated, a failure in the rebuild/refresh is retried once
+        through the degraded full-purge path (with a warning); if the
+        retry fails too the engine *poisons* itself — every subsequent
+        query raises instead of silently serving pre-delta answers for
+        the post-delta network.  Validation errors (bad endpoints,
+        rejected duplicates) raise before any mutation and leave the
+        engine healthy.
         """
         self._ensure_open()
-        self.network.append_edges(src, dst, edge_codes)
-        self.store.apply_delta()
-        return self.refresh_store()
+        appended = self.network.append_edges(
+            src, dst, edge_codes, on_duplicate=on_duplicate
+        )
+        if appended == 0:
+            return self.fingerprint
+        try:
+            delta = self.store.apply_delta()
+            return self.refresh_store(delta)
+        except BaseException as exc:
+            try:
+                self.store.apply_delta()
+                new = self.refresh_store()
+            except BaseException:
+                self._poisoned = (
+                    "append_edges mutated the network, then both the "
+                    "store rebuild/refresh and its full-rebuild retry "
+                    "failed; cached state may describe the pre-delta "
+                    "edge set. Recreate the engine over this network."
+                )
+                raise exc
+            warnings.warn(
+                "append_edges: the delta-aware refresh failed "
+                f"({exc!r}); recovered through a full rebuild + cache "
+                "purge, so results stay correct but this delta mined cold",
+                stacklevel=2,
+            )
+            return new
 
-    def refresh_store(self) -> str:
+    def refresh_store(self, delta: StoreDelta | None = None) -> str:
         """Re-sync serving state after the backing store was rebuilt.
 
-        Re-reads the fingerprint; when it changed, purges the old
-        fingerprint's result-cache entries (they could never be served
-        again — lookups use the new fingerprint — but they would pollute
-        the LRU and any disk tier), drops the serial skeleton (its
-        column gathers and first-level partitions describe the old edge
-        set) and retires the shared-memory lease (workers attach the
-        next export per task).  The worker fleet itself survives: tasks
-        carry their store handles, so no respawn is needed.
+        Re-reads the fingerprint; when it changed, drops the serial
+        skeleton (its column gathers and first-level partitions describe
+        the old edge set), retires the shared-memory lease (workers
+        attach the next export per task) and hands the old fingerprint's
+        result-cache entries to :func:`repro.engine.delta.migrate_fingerprint`:
+        entries the delta provably did not invalidate are re-keyed to
+        the new fingerprint with only their touched branches re-mined;
+        the rest are purged (they could never be served again — lookups
+        use the new fingerprint — but they would pollute the LRU and any
+        disk tier).  With no ``delta`` (an untracked mutation) every
+        entry is purged, today's degraded-but-always-sound path.  The
+        worker fleet itself survives: tasks carry their store handles,
+        so no respawn is needed.
         """
         old = self.fingerprint
         new = self.store.fingerprint()
@@ -554,9 +610,12 @@ class MiningEngine:
             return new
         self.fingerprint = new
         self.stats.invalidations += 1
-        self.stats.purged_entries += self._cache.purge_fingerprint(old)
         self._skeleton = None
         self._release_lease()
+        report = migrate_fingerprint(self, old, delta)
+        self.stats.migrated_entries += report.migrated
+        self.stats.purged_entries += report.purged
+        self.stats.migration_fallbacks += report.fallbacks
         return new
 
     # ------------------------------------------------------------------
@@ -602,6 +661,8 @@ class MiningEngine:
     def _ensure_open(self) -> None:
         if self._closed:
             raise RuntimeError("MiningEngine is closed")
+        if self._poisoned is not None:
+            raise RuntimeError(f"MiningEngine is poisoned: {self._poisoned}")
 
     @property
     def closed(self) -> bool:

@@ -17,12 +17,15 @@ and makes the networks mutable:
   served).  Workers that already mapped an evicted segment keep their
   mapping (POSIX unlink semantics); the next query for that network
   simply pays a fresh export.
-* **Append-edge deltas with fingerprint-keyed invalidation.**
+* **Append-edge deltas with incremental cache migration.**
   :meth:`append_edges` mutates the named network in place, rebuilds the
-  store's edge-derived arrays, recomputes the fingerprint, purges the
-  old fingerprint's result-cache entries (memory *and* disk tier) and
-  retires the stale lease.  Untouched networks keep their cache entries
-  and leases.
+  store's edge-derived arrays, recomputes the fingerprint and retires
+  the stale lease.  The old fingerprint's result-cache entries (memory
+  *and* disk tier) are not simply purged: entries the delta provably
+  did not invalidate are *migrated* to the new fingerprint with only
+  the touched first-level branches re-mined
+  (:mod:`repro.engine.delta`); the rest are purged and re-mine cold.
+  Untouched networks keep their cache entries and leases.
 * **A shared result cache with an optional disk tier.**  Keys embed the
   store fingerprint, so one cache safely serves every network.  With
   ``disk_cache=PATH`` the cache is a
@@ -243,16 +246,25 @@ class EngineHub:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def append_edges(self, name: str, src, dst, edge_codes=None) -> str:
+    def append_edges(
+        self, name: str, src, dst, edge_codes=None, on_duplicate: str = "allow"
+    ) -> str:
         """Append edges to the named network; returns its new fingerprint.
 
         Rebuilds the store's edge-derived state, retires the stale lease
-        and purges exactly the old fingerprint's cache entries (memory
-        and disk tier) — other networks' entries, hits and leases are
-        untouched.
+        and migrates-or-purges exactly the old fingerprint's cache
+        entries, memory and disk tier (migrated entries are re-keyed to
+        the new fingerprint with only the delta-touched branches
+        re-mined; see :mod:`repro.engine.delta`, and the per-network
+        ``migrated_entries`` / ``purged_entries`` counters in
+        :meth:`stats` / :meth:`aggregate_stats`) — other networks'
+        entries, hits and leases are untouched.  ``on_duplicate``
+        passes through to :meth:`SocialNetwork.append_edges`.
         """
         self._ensure_open()
-        return self.engine(name).append_edges(src, dst, edge_codes)
+        return self.engine(name).append_edges(
+            src, dst, edge_codes, on_duplicate=on_duplicate
+        )
 
     # ------------------------------------------------------------------
     # Shared resources (called by _HubEngine)

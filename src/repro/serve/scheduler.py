@@ -188,6 +188,11 @@ class Scheduler:
             "warm_seeds": 0,
             #: Jobs whose bus was checked out with a warm-start floor.
             "warm_started": 0,
+            #: Cache entries migrated across append_edges barriers
+            #: (carried to the new fingerprint, touched branches re-mined).
+            "delta_migrated_entries": 0,
+            #: Cache entries purged by append_edges barriers (re-mine cold).
+            "delta_purged_entries": 0,
         }
         self._closed = False
 
@@ -500,17 +505,35 @@ class Scheduler:
         flowing; late submissions park in a backlog), waits for its
         active jobs to finish, applies the delta on the coordinator,
         then releases the backlog.  Returns the new fingerprint.
+
+        The delta's cache outcome is surfaced in :meth:`stats`:
+        ``delta_migrated_entries`` counts result-cache entries carried
+        across the fingerprint change (only delta-touched branches
+        re-mined), ``delta_purged_entries`` those dropped to re-mine
+        cold.
         """
         self._ensure_serving()
-        self.hub.engine(network)
+        engine = self.hub.engine(network)
         if network in self._paused:
             raise RuntimeError(f"append_edges already in progress for {network!r}")
         self._paused[network] = next(self._seq)
         try:
             await self._drain_network(network)
-            return await self._run_coord(
+            migrated_before = engine.stats.migrated_entries
+            purged_before = engine.stats.purged_entries
+            fingerprint = await self._run_coord(
                 self.hub.append_edges, network, src, dst, edge_codes
             )
+            # The coordinator call completed before these reads, and the
+            # drain barrier keeps this engine otherwise idle, so the
+            # diffs attribute exactly this delta's cache outcome.
+            self._counters["delta_migrated_entries"] += (
+                engine.stats.migrated_entries - migrated_before
+            )
+            self._counters["delta_purged_entries"] += (
+                engine.stats.purged_entries - purged_before
+            )
+            return fingerprint
         finally:
             self._paused.pop(network, None)
             backlog = self._backlog.pop(network, None)

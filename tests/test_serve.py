@@ -605,6 +605,38 @@ class TestAppendEdgesBarrier:
         assert post == _signature(_fresh(network, request))
         assert post != pre_delta or network.num_edges == 100  # delta really landed
 
+    def test_barrier_reports_migrated_vs_purged_counts(self):
+        """The barrier surfaces the delta's cache outcome: one eligible
+        sharded entry migrates, one serial entry purges."""
+        network = _make_network(13)
+        eligible = MineRequest(k=5, min_support=3, workers=1)
+        serial = MineRequest(k=5, min_support=3)
+        # Concentrated on one source node: only its first-level
+        # partitions are touched, so the sharded entry is migratable.
+        rng = np.random.default_rng(1)
+        node = int(rng.integers(0, network.num_nodes))
+        src = [node] * 3
+        dst = [int(v) for v in rng.integers(0, network.num_nodes, 3)]
+        codes = {
+            name: [1] * 3 for name in network.schema.edge_attribute_names
+        }
+
+        async def scenario():
+            with EngineHub(workers=1) as hub:
+                hub.register("n", network)
+                async with Scheduler(hub) as scheduler:
+                    await scheduler.mine("n", eligible)
+                    await scheduler.mine("n", serial)
+                    await scheduler.append_edges("n", src, dst, codes)
+                    stats = scheduler.stats()
+                    post = _signature(await scheduler.mine("n", eligible))
+                    return stats, post
+
+        stats, post = asyncio.run(scenario())
+        assert stats["delta_migrated_entries"] == 1
+        assert stats["delta_purged_entries"] == 1
+        assert post == _signature(_fresh(network, eligible))
+
 
 class TestLeaseBudgetInterleaved:
     def test_budget_eviction_correct_while_two_networks_interleave(self):
