@@ -227,6 +227,13 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
         help="ranking metrics to sweep",
     )
     parser.add_argument(
+        "--kernel",
+        choices=("reference", "vector", "numba"),
+        default=None,
+        help="candidate-evaluation kernel tier (execution detail: the "
+        "answer and the result cache key are tier-independent)",
+    )
+    parser.add_argument(
         "--workers",
         type=_parse_workers,
         default=None,
@@ -268,6 +275,13 @@ def _add_mining_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--min-nhp", type=float, default=0.5)
     parser.add_argument(
         "--rank-by", choices=("nhp", "confidence", "laplace", "gain"), default="nhp"
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("reference", "vector", "numba"),
+        default=None,
+        help="candidate-evaluation kernel tier (default: vector; the "
+        "answer never depends on the tier)",
     )
     parser.add_argument(
         "--homophily",
@@ -369,15 +383,16 @@ def _build_miner(network: SocialNetwork, workers: int | None, **params):
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     network = _load(args.directory, args.homophily)
-    miner = _build_miner(
-        network,
-        getattr(args, "workers", None),
+    params = dict(
         min_support=args.min_support,
         min_score=args.min_nhp,
         k=args.k,
         rank_by=args.rank_by,
         node_attributes=args.attributes,
     )
+    if getattr(args, "kernel", None) is not None:
+        params["kernel"] = args.kernel
+    miner = _build_miner(network, getattr(args, "workers", None), **params)
     result = miner.mine()
     print(format_result(result, title=f"Top-{args.k} GRs by {args.rank_by}"))
     stats = result.stats
@@ -406,6 +421,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     options = {}
     if args.attributes is not None:
         options["node_attributes"] = tuple(args.attributes)
+    if args.kernel is not None:
+        options["kernel"] = args.kernel
     requests = [
         MineRequest.create(
             k=k,
@@ -480,6 +497,7 @@ def _cmd_hub(args: argparse.Namespace) -> int:
             hub.register(name, load_network(directory))
         from .engine import MineRequest
 
+        options = {} if args.kernel is None else {"kernel": args.kernel}
         requests = [
             MineRequest.create(
                 k=k,
@@ -487,6 +505,7 @@ def _cmd_hub(args: argparse.Namespace) -> int:
                 min_nhp=min_nhp,
                 rank_by=rank_by,
                 workers=args.workers,
+                **options,
             )
             for k, min_support, min_nhp, rank_by in grid
         ]
@@ -598,6 +617,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         k=args.k,
         node_attributes=args.attributes,
     )
+    if getattr(args, "kernel", None) is not None:
+        common["kernel"] = args.kernel
     nhp_result = _build_miner(
         network, getattr(args, "workers", None), min_score=args.min_nhp, **common
     ).mine()

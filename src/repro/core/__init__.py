@@ -14,6 +14,13 @@ from .interestingness import (
     lift,
     piatetsky_shapiro,
 )
+from .kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_TIERS,
+    NUMBA_AVAILABLE,
+    kernel_ops,
+    resolve_kernel,
+)
 from .metrics import GRMetrics, MetricEngine
 from .miner import GRMiner, MinerConfig, mine_top_k
 from .results import MinedGR, MiningResult, MiningStats
@@ -26,16 +33,19 @@ __all__ = [
     "BL2Miner",
     "BruteForceMiner",
     "ConfidenceMiner",
+    "DEFAULT_KERNEL",
     "Descriptor",
     "GR",
     "GRMetrics",
     "GRMiner",
     "GeneralityIndex",
+    "KERNEL_TIERS",
     "MetricEngine",
     "MinedGR",
     "MinerConfig",
     "MiningResult",
     "MiningStats",
+    "NUMBA_AVAILABLE",
     "Token",
     "TopKCollector",
     "conviction",
@@ -45,9 +55,11 @@ __all__ = [
     "gain",
     "gr_from_codes",
     "iter_subsets_sfdf",
+    "kernel_ops",
     "laplace",
     "lift",
     "mine_top_k",
     "piatetsky_shapiro",
+    "resolve_kernel",
     "static_tau",
 ]

@@ -83,7 +83,10 @@ def static_tau(
 
 
 def dynamic_rhs_order(
-    r_tokens: Iterable[Token], lhs_attributes: Iterable[str], schema: Schema
+    r_tokens: Iterable[Token],
+    lhs_attributes: Iterable[str],
+    schema: Schema,
+    homophily: dict[str, bool] | None = None,
 ) -> tuple[Token, ...]:
     """Dynamically order RHS tokens at a node (Eqn. 8): ``NHʳ, Hʳ₁, Hʳ₂``.
 
@@ -97,14 +100,19 @@ def dynamic_rhs_order(
     flip can only happen while the RHS is still all-``Hʳ₂`` — and such a
     GR is either trivial (exempt from nhp pruning) or already has β ≠ ∅.
     """
+    r_tokens = tuple(r_tokens)
     lhs_set = set(lhs_attributes)
+    if homophily is None:
+        # Callers in hot paths pass their precomputed flag map; the
+        # schema query is the convenience fallback.
+        homophily = {t.attr: schema.is_homophily(t.attr) for t in r_tokens}
     nh_r: list[Token] = []
     h_r1: list[Token] = []
     h_r2: list[Token] = []
     for token in r_tokens:
         if token.role != "R":
             raise ValueError(f"dynamic_rhs_order got non-RHS token {token}")
-        if not schema.is_homophily(token.attr):
+        if not homophily[token.attr]:
             nh_r.append(token)
         elif token.attr in lhs_set:
             h_r2.append(token)

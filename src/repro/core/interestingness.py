@@ -30,6 +30,7 @@ from typing import Sequence
 
 from ..data.network import SocialNetwork
 from .descriptors import GR, Descriptor
+from .kernels import gain_counts, laplace_counts
 from .metrics import GRMetrics, MetricEngine
 from .miner import GRMiner
 from .results import MinedGR, MiningResult
@@ -58,17 +59,25 @@ def laplace(supp: float, supp_lw: float, num_edges: int, k: int = 2) -> float:
     """Laplace accuracy, Eqn. (10), on absolute counts.
 
     ``(|E(l∧w∧r)| + 1) / (|E(l∧w)| + k)`` with integer ``k > 1``.
+    Delegates to the shared count-level formula in
+    :mod:`repro.core.kernels` (the one the miner's kernels evaluate),
+    converting the relative supports back to counts.
     """
     if k <= 1:
         raise ValueError("laplace k must be an integer greater than 1")
-    return (supp * num_edges + 1) / (supp_lw * num_edges + k)
+    return laplace_counts(supp * num_edges, supp_lw * num_edges, k)
 
 
 def gain(supp: float, supp_lw: float, theta: float = 0.5) -> float:
-    """Gain, Eqn. (11): ``supp(l -w-> r) − θ · supp(l ∧ w)`` on relative supports."""
+    """Gain, Eqn. (11): ``supp(l -w-> r) − θ · supp(l ∧ w)`` on relative supports.
+
+    Delegates to :func:`repro.core.kernels.gain_counts` with
+    ``num_edges=1``, under which the count-level and relative forms
+    coincide exactly (division by one is an IEEE no-op).
+    """
     if not 0.0 <= theta <= 1.0:
         raise ValueError("gain theta must be a fraction in [0, 1]")
-    return supp - theta * supp_lw
+    return gain_counts(supp, supp_lw, 1, theta)
 
 
 def piatetsky_shapiro(supp: float, supp_lw: float, supp_r: float) -> float:

@@ -1,0 +1,427 @@
+"""Selectable numeric kernels for the miner's RIGHT-phase inner loop.
+
+The SFDF traversal bottoms out in the RIGHT-node candidate evaluation
+(Algorithm 1 lines 22–29): for every token left in a node's tail, every
+value of the token's domain is a candidate GR.  This module provides the
+batch primitives that evaluate *all values of one token in one shot* —
+support counts via a single ``np.bincount`` over the gathered
+destination codes, rank scores for all four metrics as array
+expressions, and the support/min-score/triviality filters as boolean
+masks — so only the survivors fall back to the scalar admission path
+(generality index, collector, decode).
+
+Three tiers are exposed through ``MinerConfig(kernel=...)``:
+
+``"reference"``
+    The original scalar loop over ``partition_by_value`` groups, kept
+    intact in :meth:`GRMiner._right_reference` as the equivalence
+    oracle (the same pattern the counting-sort vectorization followed
+    with ``_placement_loop_argsort``).
+``"vector"``
+    Pure numpy batches (this module's :class:`VectorOps`); the default.
+``"numba"``
+    ``@njit``-compiled versions of the count/score kernels.  Optional:
+    when numba is not importable the tier degrades gracefully to
+    ``"vector"`` with a single warning (:func:`resolve_kernel`).
+
+Every tier produces bit-identical scores: the array expressions use the
+same IEEE-754 double operations in the same order as the scalar
+formulas, and ``int64/int64`` true division is correctly rounded in
+both numpy and Python for operands below 2**53 — far above any edge
+count this miner sees.  The tier is therefore a pure execution detail:
+results, stats counters and cache identities match across tiers.
+
+This module is also the single home of the rank-metric formulas on raw
+counts (:func:`nhp_counts`, :func:`confidence_counts`,
+:func:`laplace_counts`, :func:`gain_counts`) — ``GRMiner._score`` and
+:mod:`repro.core.interestingness` both delegate here so the two can't
+drift.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from ..sortutil.counting_sort import _key_dtype
+
+__all__ = [
+    "DEFAULT_KERNEL",
+    "KERNEL_TIERS",
+    "NUMBA_AVAILABLE",
+    "VectorOps",
+    "confidence_counts",
+    "gain_counts",
+    "kernel_ops",
+    "laplace_counts",
+    "nhp_counts",
+    "resolve_kernel",
+    "score_counts",
+    "score_matrix",
+    "token_support",
+]
+
+KERNEL_TIERS = ("reference", "vector", "numba")
+DEFAULT_KERNEL = "vector"
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # type: ignore
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the common case in CI
+    numba = None
+    NUMBA_AVAILABLE = False
+
+_warned_numba_missing = False
+
+
+def resolve_kernel(name: str) -> str:
+    """Resolve a configured tier name to the tier that will execute.
+
+    ``"numba"`` without numba installed falls back to ``"vector"`` —
+    same answers, different speed — warning once per process so a
+    requested-but-unavailable accelerator never fails a query.
+    """
+    global _warned_numba_missing
+    if name not in KERNEL_TIERS:
+        raise ValueError(
+            f"kernel must be one of {KERNEL_TIERS}; got {name!r}"
+        )
+    if name == "numba" and not NUMBA_AVAILABLE:
+        if not _warned_numba_missing:
+            _warned_numba_missing = True
+            warnings.warn(
+                "kernel='numba' requested but numba is not installed; "
+                "falling back to the 'vector' kernel (identical results)",
+                UserWarning,
+                stacklevel=2,
+            )
+        return "vector"
+    return name
+
+
+# ----------------------------------------------------------------------
+# Rank-metric formulas on raw counts (array-capable, Defs. 3-4, Eqns.
+# 10-11).  These are the single source of truth: GRMiner._score and
+# repro.core.interestingness delegate here.
+# ----------------------------------------------------------------------
+def confidence_counts(support_count, lw_count):
+    """``conf = supp_count / lw_count``; 0 when no edge satisfies l ∧ w."""
+    if lw_count <= 0:
+        return _zeros_like(support_count)
+    return support_count / lw_count
+
+
+def nhp_counts(support_count, lw_count, homophily_count):
+    """``nhp = supp_count / (lw_count − hom_count)`` (Definition 4).
+
+    Returns 0 when the denominator is not positive, matching
+    :attr:`GRMetrics.nhp`'s degenerate-case convention.
+    """
+    denominator = lw_count - homophily_count
+    if denominator <= 0:
+        return _zeros_like(support_count)
+    return support_count / denominator
+
+
+def laplace_counts(support_count, lw_count, laplace_k=2):
+    """Laplace accuracy on counts (Eqn. 10): ``(n_s + 1) / (n + k)``."""
+    return (support_count + 1) / (lw_count + laplace_k)
+
+
+def gain_counts(support_count, lw_count, num_edges, gain_theta=0.5):
+    """Gain on counts (Eqn. 11): ``(n_s − θ·n) / |E|``.
+
+    Pass ``num_edges=1`` to evaluate the formula on relative supports
+    (as :func:`repro.core.interestingness.gain` does); division by one
+    is exact, so both spellings produce identical floats.
+    """
+    return (support_count - gain_theta * lw_count) / num_edges
+
+
+def score_counts(
+    rank_by,
+    support_count,
+    lw_count,
+    homophily_count,
+    num_edges,
+    laplace_k,
+    gain_theta,
+):
+    """Dispatch one rank metric over scalar or array support counts."""
+    if rank_by == "nhp":
+        return nhp_counts(support_count, lw_count, homophily_count)
+    if rank_by == "confidence":
+        return confidence_counts(support_count, lw_count)
+    if rank_by == "laplace":
+        return laplace_counts(support_count, lw_count, laplace_k)
+    return gain_counts(support_count, lw_count, num_edges or 1, gain_theta)
+
+
+def _zeros_like(support_count):
+    if isinstance(support_count, np.ndarray):
+        return np.zeros(support_count.shape, dtype=np.float64)
+    return 0.0
+
+
+def score_matrix(
+    rank_by,
+    counts,
+    lw_count,
+    nhp_denoms,
+    num_edges,
+    laplace_k,
+    gain_theta,
+):
+    """Rank scores for a whole RIGHT-node arena in one array expression.
+
+    ``counts`` is the node's flat ragged histogram (every tail token's
+    value bins side by side) and ``nhp_denoms`` the element-aligned
+    ``lw − hom`` denominators — read only for ``rank_by="nhp"``; bins
+    whose true denominator was non-positive are clamped to 1 by the
+    caller and zeroed afterwards, mirroring the degenerate-case
+    convention of :func:`nhp_counts`.  Elementwise the same IEEE-754
+    operations as the scalar formulas, so every bin is bit-identical to
+    the reference tier's score for that candidate.
+    """
+    if rank_by == "nhp":
+        return counts / nhp_denoms
+    if rank_by == "confidence":
+        if lw_count <= 0:
+            return np.zeros(counts.shape, dtype=np.float64)
+        return counts / lw_count
+    if rank_by == "laplace":
+        return (counts + 1) / (lw_count + laplace_k)
+    return (counts - gain_theta * lw_count) / (num_edges or 1)
+
+
+# ----------------------------------------------------------------------
+# Batch support phase
+# ----------------------------------------------------------------------
+def token_support(ops, keys, domain_size, abs_min_support):
+    """Evaluate the support filter for every value of one RIGHT token.
+
+    One histogram replaces the per-value ``partition_by_value`` walk:
+    ``counts[v]`` is the support of extending the node's RHS with
+    ``(attr: v)``, values the reference loop would have examined are the
+    non-empty non-null bins, and Theorem 2(1) pruning is one vectorized
+    comparison.
+
+    Returns ``(counts, values, supports, examined, support_pruned)``
+    where ``values``/``supports`` hold the surviving candidates in
+    ascending value order (the reference traversal order) and are
+    ``None`` when nothing survives.  ``counts`` is the full histogram,
+    kept so a caller that recurses can derive the counting-sort
+    partition offsets without a second pass.
+    """
+    counts = ops.counts(keys, domain_size)
+    nonzero = np.nonzero(counts)[0]
+    examined = int(nonzero.size)
+    has_null = examined > 0 and nonzero[0] == 0
+    if has_null:
+        examined -= 1
+    if examined == 0:
+        return counts, None, None, 0, 0
+    supports = counts[nonzero]
+    keep = supports >= abs_min_support
+    if has_null:
+        keep[0] = False
+    alive = int(np.count_nonzero(keep))
+    if alive == 0:
+        return counts, None, None, examined, examined
+    if alive != nonzero.size:
+        nonzero = nonzero[keep]
+        supports = supports[keep]
+    return counts, nonzero, supports, examined, examined - alive
+
+
+# ----------------------------------------------------------------------
+# Kernel ops: the tier-specific numeric primitives
+# ----------------------------------------------------------------------
+class VectorOps:
+    """Pure-numpy batch primitives (the ``"vector"`` tier)."""
+
+    name = "vector"
+
+    @staticmethod
+    def counts(keys: np.ndarray, domain_size: int) -> np.ndarray:
+        """Histogram of codes over ``[0, domain_size]``."""
+        return np.bincount(keys, minlength=domain_size + 1)
+
+    @staticmethod
+    def argsort(keys: np.ndarray, domain_size: int) -> np.ndarray:
+        """Stable counting-sort permutation (radix for small domains)."""
+        narrow = keys.astype(_key_dtype(domain_size), copy=False)
+        return np.argsort(narrow, kind="stable")
+
+    @staticmethod
+    def and_eq(prefix: np.ndarray | None, keys: np.ndarray, code: int) -> np.ndarray:
+        """``prefix & (keys == code)`` (``keys == code`` when no prefix)."""
+        eq = keys == code
+        if prefix is None:
+            return eq
+        return prefix & eq
+
+    @staticmethod
+    def flat_counts(matrix: np.ndarray, n_bins: int) -> np.ndarray:
+        """One histogram over a whole offset-coded arena matrix.
+
+        Row ``r`` of the matrix carries codes pre-shifted by
+        ``r * stride``, so a single flat bincount yields every
+        attribute's histogram side by side; the caller reshapes to
+        ``(rows, stride)``.
+        """
+        return np.bincount(matrix.ravel(), minlength=n_bins)
+
+    @staticmethod
+    def arena_counts(matrix: np.ndarray, edges: np.ndarray, n_bins: int) -> np.ndarray:
+        """Histogram of every arena row gathered at ``edges`` at once —
+        the fused gather + flat bincount behind each RIGHT node."""
+        return np.bincount(matrix.take(edges, axis=1).ravel(), minlength=n_bins)
+
+    scores = staticmethod(score_counts)
+    score_matrix = staticmethod(score_matrix)
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - requires numba in the environment
+
+    _njit = numba.njit(cache=False, fastmath=False)
+
+    @_njit
+    def _nb_counts(keys, domain_size):
+        counts = np.zeros(domain_size + 1, dtype=np.int64)
+        for i in range(keys.shape[0]):
+            counts[keys[i]] += 1
+        return counts
+
+    @_njit
+    def _nb_eq(keys, code):
+        out = np.empty(keys.shape[0], dtype=np.bool_)
+        for i in range(keys.shape[0]):
+            out[i] = keys[i] == code
+        return out
+
+    @_njit
+    def _nb_and_eq(prefix, keys, code):
+        out = np.empty(keys.shape[0], dtype=np.bool_)
+        for i in range(keys.shape[0]):
+            out[i] = prefix[i] and keys[i] == code
+        return out
+
+    @_njit
+    def _nb_flat_counts(matrix, n_bins):
+        counts = np.zeros(n_bins, dtype=np.int64)
+        for r in range(matrix.shape[0]):
+            for i in range(matrix.shape[1]):
+                counts[matrix[r, i]] += 1
+        return counts
+
+    @_njit
+    def _nb_arena_counts(matrix, edges, n_bins):
+        counts = np.zeros(n_bins, dtype=np.int64)
+        for r in range(matrix.shape[0]):
+            row = matrix[r]
+            for i in range(edges.shape[0]):
+                counts[row[edges[i]]] += 1
+        return counts
+
+    @_njit
+    def _nb_div(supports, denominator):
+        out = np.empty(supports.shape[0], dtype=np.float64)
+        for i in range(supports.shape[0]):
+            out[i] = supports[i] / denominator
+        return out
+
+    @_njit
+    def _nb_laplace(supports, lw_count, laplace_k):
+        out = np.empty(supports.shape[0], dtype=np.float64)
+        for i in range(supports.shape[0]):
+            out[i] = (supports[i] + 1) / (lw_count + laplace_k)
+        return out
+
+    @_njit
+    def _nb_gain(supports, lw_count, num_edges, gain_theta):
+        out = np.empty(supports.shape[0], dtype=np.float64)
+        theta_lw = gain_theta * lw_count
+        for i in range(supports.shape[0]):
+            out[i] = (supports[i] - theta_lw) / num_edges
+        return out
+
+    class NumbaOps:
+        """``@njit``-compiled count/score kernels (the ``"numba"`` tier).
+
+        Same IEEE-754 operations in the same order as :class:`VectorOps`,
+        so scores stay bit-identical.  The counting-sort permutation
+        stays on numpy's radix sort, which is already native code.
+        """
+
+        name = "numba"
+
+        @staticmethod
+        def counts(keys, domain_size):
+            return _nb_counts(keys, domain_size)
+
+        argsort = staticmethod(VectorOps.argsort)
+        #: numpy's 2D broadcast division is already native code; a jitted
+        #: copy would only re-spell the same IEEE expressions.
+        score_matrix = staticmethod(score_matrix)
+
+        @staticmethod
+        def flat_counts(matrix, n_bins):
+            return _nb_flat_counts(matrix, n_bins)
+
+        @staticmethod
+        def arena_counts(matrix, edges, n_bins):
+            # fused gather + histogram: no (rows, |edges|) temporary
+            return _nb_arena_counts(matrix, edges, n_bins)
+
+        @staticmethod
+        def and_eq(prefix, keys, code):
+            if prefix is None:
+                return _nb_eq(keys, code)
+            return _nb_and_eq(prefix, keys, code)
+
+        @staticmethod
+        def scores(
+            rank_by,
+            support_count,
+            lw_count,
+            homophily_count,
+            num_edges,
+            laplace_k,
+            gain_theta,
+        ):
+            if not isinstance(support_count, np.ndarray):
+                return score_counts(
+                    rank_by, support_count, lw_count, homophily_count,
+                    num_edges, laplace_k, gain_theta,
+                )
+            supports = support_count.astype(np.int64, copy=False)
+            if rank_by == "nhp":
+                denominator = lw_count - homophily_count
+                if denominator <= 0:
+                    return np.zeros(supports.shape[0], dtype=np.float64)
+                return _nb_div(supports, denominator)
+            if rank_by == "confidence":
+                if lw_count <= 0:
+                    return np.zeros(supports.shape[0], dtype=np.float64)
+                return _nb_div(supports, lw_count)
+            if rank_by == "laplace":
+                return _nb_laplace(supports, lw_count, laplace_k)
+            return _nb_gain(supports, lw_count, num_edges or 1, gain_theta)
+
+else:
+    NumbaOps = None
+
+
+def kernel_ops(tier: str):
+    """The ops bundle executing a resolved tier's numeric primitives.
+
+    The reference tier has no batch primitives of its own; it receives
+    :class:`VectorOps` for the shared plumbing (homophily-mask caching)
+    that all tiers go through.
+    """
+    if tier == "numba" and NumbaOps is not None:
+        return NumbaOps
+    return VectorOps

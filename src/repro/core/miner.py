@@ -41,6 +41,13 @@ from ..data.store import CompactStore
 from ..sortutil.counting_sort import partition_by_value
 from .descriptors import GR, Descriptor
 from .enumeration import Token, dynamic_rhs_order, static_tau
+from .kernels import (
+    DEFAULT_KERNEL,
+    KERNEL_TIERS,
+    kernel_ops,
+    resolve_kernel,
+    score_counts,
+)
 from .metrics import GRMetrics
 from .results import MiningResult, MiningStats
 from .topk import GeneralityIndex, TopKCollector
@@ -81,8 +88,25 @@ class _LWContext:
     l_map: dict[str, int]
     w_map: dict[str, int]
     lw_count: int
+    #: Sorted-tuple forms of ``l_map`` / ``w_map``, interned once per
+    #: context so the candidate path does not rebuild them per GR.
+    l_key: tuple[tuple[str, int], ...] = ()
+    w_key: tuple[tuple[str, int], ...] = ()
     #: Cache of homophily-effect counts ``supp(l -w-> l[β])`` keyed by β.
     hom_cache: dict[tuple[str, ...], int] = field(default_factory=dict)
+    #: Destination-code columns gathered onto this context's edge set,
+    #: keyed by attribute name — each attribute pays its O(|edges|)
+    #: fancy-index once per context instead of once per β set.
+    dst_gathered: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Boolean masks ``edges satisfying l[β]`` keyed by β, built
+    #: incrementally from their longest cached prefix.
+    hom_masks: dict[tuple[str, ...], np.ndarray] = field(default_factory=dict)
+    #: Per-token ``(attr, arena row, ext_applies, l_code)`` for the
+    #: context's *root* RHS ordering — every node's tail is a prefix of
+    #: it, so the batch tier derives this once per context instead of
+    #: re-querying the homophily/LHS maps at every node (built lazily by
+    #: ``_right_vector``).
+    token_meta: list | None = None
 
 
 @dataclass(frozen=True)
@@ -152,6 +176,11 @@ class MinerConfig:
     laplace_k: int = 2
     gain_theta: float = 0.5
     verify_generality: bool = True
+    #: Execution tier for the RIGHT-phase inner loop; see
+    #: :mod:`repro.core.kernels`.  A pure speed knob: every tier
+    #: produces identical results, so it is excluded from
+    #: :meth:`canonical_key`.
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if self.node_attributes is not None:
@@ -174,6 +203,10 @@ class MinerConfig:
             raise ValueError("laplace_k must be an integer greater than 1 (Eqn. 10)")
         if not 0.0 <= self.gain_theta <= 1.0:
             raise ValueError("gain_theta must be a fraction in [0, 1] (Eqn. 11)")
+        if self.kernel not in KERNEL_TIERS:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_TIERS}; got {self.kernel!r}"
+            )
 
     def canonical_key(self, schema, num_edges: int) -> tuple:
         """A hashable identity that resolves defaults and equivalences.
@@ -185,7 +218,11 @@ class MinerConfig:
         and fields that cannot influence the result under the current
         ranking (``laplace_k`` off-``laplace``, ``gain_theta``
         off-``gain``, ``verify_generality`` without a dynamic top-k) are
-        masked out.  The engine's result cache is keyed by this.
+        masked out.  ``kernel`` is excluded entirely: the execution tier
+        never changes the answer, so queries differing only in kernel
+        share one cache entry, dedup against each other and trade
+        warm-start floors freely.  The engine's result cache is keyed by
+        this.
 
         The field order is part of the contract: the module-level
         ``CKEY_*`` constants name the positions other layers index.
@@ -393,6 +430,7 @@ class GRMiner:
         laplace_k: int = 2,
         gain_theta: float = 0.5,
         verify_generality: bool = True,
+        kernel: str = DEFAULT_KERNEL,
         store: CompactStore | None = None,
         config: MinerConfig | None = None,
     ) -> None:
@@ -416,6 +454,7 @@ class GRMiner:
             laplace_k=laplace_k,
             gain_theta=gain_theta,
             verify_generality=verify_generality,
+            kernel=kernel,
         )
         if config is None:
             config = from_kwargs
@@ -459,6 +498,14 @@ class GRMiner:
         self._src_cols = _ColumnCache(self.store.source_codes)
         self._dst_cols = _ColumnCache(self.store.dest_codes)
         self._edge_cols = _ColumnCache(self.store.edge_codes)
+        #: Stacked destination-code matrices for the batch kernels,
+        #: keyed by node-attribute tuple.  Store-derived like the column
+        #: caches, so they survive re-arms (and are dropped with the
+        #: whole skeleton when a store delta changes the fingerprint).
+        self._dst_matrices: dict[tuple[str, ...], tuple] = {}
+        #: Memoised Eqn. 8 RHS orderings, keyed by (tail, LHS attribute
+        #: set) — schema-derived only, so shared across re-arms too.
+        self._rhs_order_cache: dict[object, tuple] = {}
 
         self.rearm(config)
 
@@ -505,6 +552,16 @@ class GRMiner:
         self.laplace_k = config.laplace_k
         self.gain_theta = config.gain_theta
         self.verify_generality = config.verify_generality
+        self.kernel = config.kernel
+        #: The tier that actually executes ("numba" resolves to
+        #: "vector" when numba is absent, with a one-time warning).
+        self.kernel_tier = resolve_kernel(config.kernel)
+        self._kernel_ops = kernel_ops(self.kernel_tier)
+        self._right = (
+            self._right_reference
+            if self.kernel_tier == "reference"
+            else self._right_vector
+        )
         # A verifier installed for a previous query must not leak into
         # the next one (it may cache verdicts under other thresholds).
         self._candidate_verifier = None
@@ -722,6 +779,7 @@ class GRMiner:
             "include_trivial": self.include_trivial,
             "allow_empty_lhs": self.allow_empty_lhs,
             "apply_generality": self.apply_generality,
+            "kernel": self.kernel_tier,
         }
 
     # ------------------------------------------------------------------
@@ -782,21 +840,46 @@ class GRMiner:
     ) -> None:
         if not l_map and not self.allow_empty_lhs:
             return
-        r_tokens = tuple(t for t in tail if t.role == "R")
-        if self.dynamic_rhs_ordering:
-            r_tokens = dynamic_rhs_order(r_tokens, l_map, self.schema)
+        # The ordered RHS tail depends only on the tail, on WHICH
+        # attributes the LHS binds (Eqn. 8 groups by homophily flag and
+        # LHS membership, never by value) and on whether dynamic
+        # ordering is enabled at all — the cache outlives re-arms, so
+        # the flag must be part of the key.
+        cache_key = (self.dynamic_rhs_ordering, tail, frozenset(l_map) if l_map else ())
+        r_tokens = self._rhs_order_cache.get(cache_key)
+        if r_tokens is None:
+            r_tokens = tuple(t for t in tail if t.role == "R")
+            if self.dynamic_rhs_ordering:
+                r_tokens = dynamic_rhs_order(
+                    r_tokens, l_map, self.schema, self._homophily
+                )
+            self._rhs_order_cache[cache_key] = r_tokens
         context = _LWContext(
-            edges=edges, l_map=l_map, w_map=w_map, lw_count=int(edges.size)
+            edges=edges,
+            l_map=l_map,
+            w_map=w_map,
+            lw_count=int(edges.size),
+            l_key=tuple(sorted(l_map.items())),
+            w_key=tuple(sorted(w_map.items())),
         )
         self._right(edges, r_tokens, context, r_map={})
 
-    def _right(
+    def _right_reference(
         self,
         edges: np.ndarray,
         r_tail: tuple[Token, ...],
         context: _LWContext,
         r_map: dict[str, int],
+        r_key: tuple[tuple[str, int], ...] = (),
     ) -> None:
+        """The original scalar RIGHT loop — the equivalence oracle.
+
+        One ``partition_by_value`` group per candidate, one
+        ``_evaluate``/``_score``/``_consider`` round-trip each.  Kept
+        intact (``kernel="reference"``) so the batch tiers always have a
+        bit-exact baseline to verify against, the same way the
+        counting-sort kernel keeps ``_placement_loop_argsort``.
+        """
         if self.max_rhs_attrs is not None and len(r_map) >= self.max_rhs_attrs:
             return
         for i, token in enumerate(r_tail):
@@ -817,17 +900,362 @@ class GRMiner:
                     continue
                 self._right(subset, child_tail, context, new_r)
 
+    def _right_vector(
+        self,
+        edges: np.ndarray,
+        r_tail: tuple[Token, ...],
+        context: _LWContext,
+        r_map: dict[str, int],
+        r_key: tuple[tuple[str, int], ...] = (),
+    ) -> None:
+        """Arena-batched RIGHT loop (the ``"vector"``/``"numba"`` tiers).
+
+        One gather of the stacked offset-coded destination matrix
+        (:meth:`_arena`) plus one flat bincount produce the histograms
+        of *every* tail token at this node at once; scores come out as
+        one array expression per token, and the support/min-score/
+        threshold masks decide in batch which values are mere counter
+        updates.  Only values that are admissible — or whose subtree
+        must actually be descended — fall through to the scalar
+        ``_consider`` path, and the counting-sort permutation behind the
+        per-value subsets is built lazily, only when some value
+        recurses.
+
+        The score-threshold cut (Theorem 3) is also taken in batch
+        against a snapshot of the collector's threshold: the threshold
+        only ratchets upward, so a value below the snapshot is below the
+        live threshold at its in-order visit too, and none of those
+        values would have touched the collector (they are below
+        ``min_score`` by construction).  Values at or above the snapshot
+        keep their live per-value check inside the loop.
+
+        Candidate visit order, collector/threshold interleaving and
+        every stats counter match the reference loop exactly; scores are
+        bit-identical (see the module docstring of
+        :mod:`repro.core.kernels`).
+        """
+        if not r_tail:
+            return
+        if self.max_rhs_attrs is not None and len(r_map) >= self.max_rhs_attrs:
+            return
+        stats = self._stats
+        ops = self._kernel_ops
+        collector = self._collector
+        l_map = context.l_map
+        homophily = self._homophily
+        lw_count = context.lw_count
+        num_edges = self.network.num_edges
+        rank_by = self.rank_by
+        rank_nhp = rank_by == "nhp"
+        min_score = self.min_score
+        push_prune = self.push_score_pruning
+        abs_min_support = self.abs_min_support
+
+        matrix, row_of, offsets, bounds, widths, n_bins = self._arena()
+        if edges.size == matrix.shape[1]:
+            flat = ops.flat_counts(matrix, n_bins)  # the root spans every edge
+        else:
+            flat = ops.arena_counts(matrix, edges, n_bins)
+        alive = flat >= abs_min_support
+        alive[offsets] = False  # code 0 (each segment's first bin) is the null sentinel
+        alive_per_row = np.add.reduceat(alive, offsets).tolist()
+        if abs_min_support > 1:
+            nonzero = flat > 0
+            nonzero[offsets] = False
+            examined_per_row = np.add.reduceat(nonzero, offsets).tolist()
+        else:
+            examined_per_row = alive_per_row
+
+        # β and triviality of the node's own r_map; each candidate below
+        # extends them by one (attr: value) pair, which either keeps the
+        # base β (value matches the LHS) or inserts attr into it.
+        if r_map:
+            base_beta = tuple(
+                sorted(
+                    name
+                    for name, value in r_map.items()
+                    if homophily[name] and name in l_map and l_map[name] != value
+                )
+            )
+            base_trivial = all(
+                homophily[name] and l_map.get(name) == value
+                for name, value in r_map.items()
+            )
+        else:
+            base_beta = ()
+            base_trivial = True
+        mask_trivial = base_trivial and not self.include_trivial
+        may_recurse = (
+            self.max_rhs_attrs is None or len(r_map) + 1 < self.max_rhs_attrs
+        )
+
+        # ---- pass A: pure-Python token bookkeeping -------------------
+        # can_flip for token i asks whether any EARLIER tail token could
+        # re-enter β (Theorem 2(3)); ext_applies is the same predicate
+        # applied to the token itself, so one prefix flag serves both.
+        # The per-token (attr, row, ext_applies, l_code, base_idx) facts
+        # are context-invariant and every node's tail is a prefix of the
+        # context's root ordering, so they are derived once per context.
+        meta = context.token_meta
+        if meta is None or len(meta) < len(r_tail):
+            meta = context.token_meta = [
+                (
+                    token.attr,
+                    row_of[token.attr],
+                    ext,
+                    l_map[token.attr] if ext else -1,
+                    bounds[row_of[token.attr]] + l_map[token.attr] if ext else -1,
+                )
+                for token in r_tail
+                for ext in (homophily[token.attr] and token.attr in l_map,)
+            ]
+        infos = []
+        base_fixups = []
+        batch_fixups = []
+        denom_rows = None
+        zero_rows = None
+        can_flip = False
+        for i in range(len(r_tail)):
+            attr, row, ext_applies, l_code, base_idx = meta[i]
+            examined = examined_per_row[row]
+            alive_n = alive_per_row[row]
+            if examined:
+                stats.grs_examined += examined
+                if examined != alive_n:
+                    stats.pruned_by_support += examined - alive_n
+            if alive_n:
+                if ext_applies:
+                    insert_at = 0
+                    while insert_at < len(base_beta) and base_beta[insert_at] < attr:
+                        insert_at += 1
+                    beta_ext = base_beta[:insert_at] + (attr,) + base_beta[insert_at:]
+                    has_base = bool(alive[base_idx])
+                else:
+                    beta_ext = base_beta
+                    has_base = False
+                hom_ext = 0
+                hom_base = 0
+                if rank_nhp:
+                    if beta_ext:
+                        hom_ext = self._homophily_count(context, beta_ext)
+                    if has_base:
+                        hom_base = (
+                            self._homophily_count(context, base_beta)
+                            if base_beta
+                            else 0
+                        )
+                        base_fixups.append((base_idx, hom_base))
+                    if hom_ext:
+                        # Rows with untouched denominators default to
+                        # plain lw, applied as one scalar divisor below.
+                        if denom_rows is None:
+                            denom_rows = [lw_count] * (len(bounds) - 1)
+                        denominator = lw_count - hom_ext
+                        if denominator > 0:
+                            denom_rows[row] = denominator
+                        else:
+                            denom_rows[row] = 1
+                            if zero_rows is None:
+                                zero_rows = []
+                            zero_rows.append(row)
+                    prunable_ext = bool(beta_ext) or not can_flip
+                    prunable_base = bool(base_beta) or not can_flip
+                    if not prunable_ext or (has_base and not prunable_base):
+                        batch_fixups.append(
+                            (row, base_idx, has_base, prunable_ext, prunable_base)
+                        )
+                else:
+                    prunable_ext = True
+                    prunable_base = True
+                    if has_base:
+                        base_fixups.append((base_idx, 0))
+                infos.append((
+                    i, attr, row, l_code, beta_ext, hom_ext, hom_base,
+                    has_base, prunable_ext, prunable_base,
+                    may_recurse and i > 0,
+                ))
+            can_flip = can_flip or ext_applies
+        if not infos:
+            return
+
+        # ---- node-level batch: scores, admission and Theorem 3 masks -
+        nhp_denoms = None
+        if rank_nhp:
+            if denom_rows is not None:
+                nhp_denoms = np.repeat(
+                    np.asarray(denom_rows, dtype=np.int64), widths
+                )
+            else:
+                # No β adjustment anywhere: one scalar divisor, which
+                # numpy broadcasts through the identical IEEE division.
+                nhp_denoms = lw_count
+        scores = ops.score_matrix(
+            rank_by, flat, lw_count, nhp_denoms, num_edges,
+            self.laplace_k, self.gain_theta,
+        )
+        if zero_rows is not None:
+            for row in zero_rows:
+                scores[bounds[row] : bounds[row + 1]] = 0.0
+        if rank_nhp:
+            # The value matching the LHS keeps the base β class, whose
+            # homophily count differs: patch its score before deriving
+            # the masks.
+            for base_idx, hom_base in base_fixups:
+                scores[base_idx] = score_counts(
+                    rank_by, int(flat[base_idx]), lw_count, hom_base,
+                    num_edges, self.laplace_k, self.gain_theta,
+                )
+        consider = scores >= min_score
+        consider &= alive
+        if mask_trivial:
+            for base_idx, _ in base_fixups:
+                consider[base_idx] = False
+        consider_per_row = None
+        if push_prune:
+            # Theorem 3 cuts below the node-entry threshold are taken in
+            # batch: the collector's threshold only ratchets upward, so a
+            # value below it now is below it at its in-order visit too,
+            # and none of these values would have touched the collector
+            # (they are below ``min_score`` or trivial by construction).
+            # Values at or above the snapshot keep their live per-value
+            # check inside the scalar loop.
+            # consider ⊆ alive, so the XOR is exactly alive & ~consider:
+            # the alive values the collector will not admit.
+            below0 = alive ^ consider
+            below0 &= scores < collector.effective_threshold
+            for row, base_idx, has_base, prunable_ext, prunable_base in batch_fixups:
+                if prunable_ext:  # only the base value is exempt
+                    below0[base_idx] = False
+                else:  # only the base value is prunable, if that
+                    keep = (
+                        has_base and prunable_base and bool(below0[base_idx])
+                    )
+                    below0[bounds[row] : bounds[row + 1]] = False
+                    if keep:
+                        below0[base_idx] = True
+            batch_per_row = np.add.reduceat(below0, offsets).tolist()
+            # below0 ⊆ alive, so XOR is exactly alive & ~below0 — the
+            # values the scalar loop must still visit.
+            loop_flat = alive ^ below0
+        else:
+            loop_flat = None
+            batch_per_row = None
+            consider_per_row = np.add.reduceat(consider, offsets).tolist()
+
+        # ---- pass B: scalar fallback over the survivors --------------
+        # Ascending value order — the reference traversal order — so the
+        # collector, the generality index and the dynamic threshold
+        # evolve through the identical state sequence.
+        for (
+            i, attr, row, l_code, beta_ext, hom_ext, hom_base,
+            has_base, prunable_ext, prunable_base, need_recurse,
+        ) in infos:
+            seg = slice(bounds[row], bounds[row + 1])
+            if push_prune:
+                pruned = batch_per_row[row]
+                loop_n = alive_per_row[row] - pruned
+                if pruned:
+                    stats.pruned_by_nhp += pruned
+                if not loop_n:
+                    continue
+                mask_row = loop_flat[seg]
+            elif need_recurse:
+                loop_n = alive_per_row[row]
+                mask_row = alive[seg]
+            else:
+                loop_n = consider_per_row[row]
+                if not loop_n:
+                    continue
+                mask_row = consider[seg]
+            counts_row = flat[seg]
+            scores_row = scores[seg]
+            consider_row = consider[seg]
+            child_tail = r_tail[:i]
+            key_at = 0
+            while key_at < len(r_key) and r_key[key_at][0] < attr:
+                key_at += 1
+            key_head = r_key[:key_at]
+            key_tail = r_key[key_at:]
+            sorted_edges = None
+            starts = None
+            # Single-survivor rows (the common case once batch pruning
+            # bites) skip the nonzero scan.
+            if loop_n == 1:
+                survivors = (int(mask_row.argmax()),)
+            else:
+                survivors = np.nonzero(mask_row)[0].tolist()
+            for value in survivors:
+                score = float(scores_row[value])
+                is_base = value == l_code
+                new_r = None
+                new_key = None
+                if consider_row[value]:
+                    beta = base_beta if is_base else beta_ext
+                    if rank_nhp:
+                        hom_count = (hom_base if is_base else hom_ext) if beta else 0
+                    else:
+                        hom_count = self._homophily_count(context, beta) if beta else 0
+                    metrics = GRMetrics(
+                        support_count=int(counts_row[value]),
+                        lw_count=lw_count,
+                        homophily_count=hom_count,
+                        num_edges=num_edges,
+                        beta=beta,
+                    )
+                    new_r = dict(r_map)
+                    new_r[attr] = value
+                    new_key = key_head + ((attr, value),) + key_tail
+                    self._consider(
+                        context, new_r, metrics, base_trivial and is_base,
+                        score, r_key=new_key,
+                    )
+                if (
+                    push_prune
+                    and (prunable_base if is_base else prunable_ext)
+                    and score < collector.effective_threshold
+                ):
+                    stats.pruned_by_nhp += 1
+                    continue
+                if not need_recurse:
+                    continue
+                if sorted_edges is None:
+                    if edges is context.edges:
+                        keys = self._context_dst(context, attr)
+                    else:
+                        keys = self._dst_cols[attr].take(edges)
+                    order = ops.argsort(keys, self._domain[attr])
+                    sorted_edges = edges[order]
+                    starts = np.concatenate(
+                        (np.zeros(1, dtype=np.int64), np.cumsum(counts_row))
+                    )
+                start = int(starts[value])
+                subset = sorted_edges[start : start + int(counts_row[value])]
+                if new_r is None:
+                    new_r = dict(r_map)
+                    new_r[attr] = value
+                    new_key = key_head + ((attr, value),) + key_tail
+                self._right_vector(subset, child_tail, context, new_r, new_key)
+
     def _score(self, metrics: GRMetrics) -> float:
-        """The ranking metric's value (Definitions 3–4, Eqns. 10–11)."""
+        """The ranking metric's value (Definitions 3–4, Eqns. 10–11).
+
+        Delegates to the shared count-level formulas in
+        :mod:`repro.core.kernels`, the same expressions the batch tiers
+        evaluate as arrays.
+        """
         if self.rank_by == "nhp":
             return metrics.nhp
         if self.rank_by == "confidence":
             return metrics.confidence
-        if self.rank_by == "laplace":
-            return (metrics.support_count + 1) / (metrics.lw_count + self.laplace_k)
-        # gain, on relative supports: supp(g) − θ · supp(l ∧ w).
-        num_edges = metrics.num_edges or 1
-        return (metrics.support_count - self.gain_theta * metrics.lw_count) / num_edges
+        return score_counts(
+            self.rank_by,
+            metrics.support_count,
+            metrics.lw_count,
+            metrics.homophily_count,
+            metrics.num_edges,
+            self.laplace_k,
+            self.gain_theta,
+        )
 
     # ------------------------------------------------------------------
     # Metrics at a RIGHT node (Section IV-D)
@@ -906,22 +1334,94 @@ class GRMiner:
         )
         return metrics, trivial
 
+    def _arena(self):
+        """The stacked offset-coded destination matrix for the batch tiers.
+
+        Row ``row_of[attr]`` holds attribute ``attr``'s destination
+        codes shifted into its own bin segment of a *ragged* flat
+        layout: segment ``row`` starts at ``offsets[row]`` and is
+        ``domain + 1`` bins wide, so one flat bincount over a gathered
+        slice of the matrix yields *every* tail token's histogram side
+        by side — replacing one gather and one histogram per token with
+        one of each per RIGHT node.  Ragged (cumulative) offsets rather
+        than a rectangular stride keep the bin count at
+        ``Σ (domain + 1)`` instead of ``rows × (max domain + 1)``, which
+        matters when one wide attribute (e.g. Pokec's Region) would
+        otherwise inflate every row's histogram.  Derived purely from
+        the immutable store and the attribute selection, so it persists
+        across runs and re-arms like the plain column caches (a store
+        delta drops the whole miner skeleton, matrices included).
+
+        Returns ``(matrix, row_of, offsets, bounds, widths, n_bins)``
+        where ``offsets`` is the int64 segment-start array (also the
+        positions of the per-row null-sentinel bins, since code 0 sits
+        at each segment's start), ``bounds`` its plain-int mirror with
+        ``n_bins`` appended (so row ``r`` spans
+        ``bounds[r]:bounds[r + 1]``) and ``widths`` the int64 per-row
+        segment widths.
+        """
+        attrs = tuple(self.node_attributes)
+        entry = self._dst_matrices.get(attrs)
+        if entry is None:
+            widths = np.asarray(
+                [self._domain[name] + 1 for name in attrs], dtype=np.int64
+            )
+            offsets = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(widths[:-1]))
+            )
+            n_bins = int(offsets[-1] + widths[-1])
+            first = self._dst_cols[attrs[0]]
+            matrix = np.empty((len(attrs), first.size), dtype=np.int32)
+            for row, name in enumerate(attrs):
+                np.add(self._dst_cols[name], int(offsets[row]), out=matrix[row])
+            row_of = {name: row for name, row in zip(attrs, range(len(attrs)))}
+            bounds = offsets.tolist() + [n_bins]
+            entry = (matrix, row_of, offsets, bounds, widths, n_bins)
+            self._dst_matrices[attrs] = entry
+        return entry
+
+    def _context_dst(self, context: _LWContext, name: str) -> np.ndarray:
+        """Destination codes of ``name`` gathered onto the context's edges.
+
+        Each attribute pays its O(|edges|) fancy-index once per ``l ∧ w``
+        context; every β set touching the attribute (and the top-level
+        RIGHT batch over it) reuses the gathered column.
+        """
+        col = context.dst_gathered.get(name)
+        if col is None:
+            col = context.dst_gathered[name] = self._dst_cols[name][context.edges]
+        return col
+
     def _homophily_count(self, context: _LWContext, beta: tuple[str, ...]) -> int:
         """``supp(l -w-> l[β])`` within the context's edge set, cached by β.
 
         Case 1 of Section IV-D (β ⊂ R) reuses a previously cached count;
         Case 2 (β = R) computes it at the current node — both land here
-        because the cache lives on the ``l ∧ w`` context.
+        because the cache lives on the ``l ∧ w`` context.  A new β's mask
+        is one ``and_eq`` over its longest cached prefix, on destination
+        columns gathered once per context (:meth:`_context_dst`).
         """
         cached = context.hom_cache.get(beta)
         if cached is not None:
             return cached
-        mask = np.ones(context.edges.size, dtype=bool)
-        for name in beta:
-            mask &= self._dst_cols[name][context.edges] == context.l_map[name]
-        count = int(mask.sum())
+        mask = self._hom_mask(context, beta)
+        count = context.lw_count if mask is None else int(mask.sum())
         context.hom_cache[beta] = count
         return count
+
+    def _hom_mask(self, context: _LWContext, beta: tuple[str, ...]) -> np.ndarray | None:
+        """Boolean mask of context edges satisfying ``l[β]`` (None for β=∅)."""
+        if not beta:
+            return None
+        mask = context.hom_masks.get(beta)
+        if mask is None:
+            prefix = self._hom_mask(context, beta[:-1])
+            name = beta[-1]
+            mask = self._kernel_ops.and_eq(
+                prefix, self._context_dst(context, name), context.l_map[name]
+            )
+            context.hom_masks[beta] = mask
+        return mask
 
     # ------------------------------------------------------------------
     # Candidate handling (lines 25-28) and pruning
@@ -933,6 +1433,7 @@ class GRMiner:
         metrics: GRMetrics,
         trivial: bool,
         score: float,
+        r_key: tuple[tuple[str, int], ...] | None = None,
     ) -> None:
         if trivial and not self.include_trivial:
             return
@@ -941,9 +1442,10 @@ class GRMiner:
         if score < self.min_score:
             return
         if self.apply_generality:
-            l_key = tuple(sorted(context.l_map.items()))
-            w_key = tuple(sorted(context.w_map.items()))
-            r_key = tuple(sorted(r_map.items()))
+            l_key = context.l_key
+            w_key = context.w_key
+            if r_key is None:
+                r_key = tuple(sorted(r_map.items()))
             if self._index.is_blocked(l_key, w_key, r_key):
                 self._stats.pruned_by_generality += 1
                 return
@@ -1030,6 +1532,12 @@ def mine_top_k(
     Pass ``workers=N`` to mine with the sharded multi-process
     :class:`~repro.parallel.ParallelGRMiner` instead of the serial
     miner (``workers=1`` runs the shard machinery in-process).
+
+    Pass ``kernel="reference"|"vector"|"numba"`` to select the
+    candidate-evaluation tier (:mod:`repro.core.kernels`).  The tier is
+    a pure execution detail: every tier returns the identical result
+    list and the identical effort counters, and cached results are
+    shared across tiers.
 
     Examples
     --------

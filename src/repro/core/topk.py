@@ -19,6 +19,7 @@ Implements the bookkeeping of Definition 5 and Algorithm 1 lines 27–28:
 from __future__ import annotations
 
 import bisect
+from itertools import combinations
 from typing import Iterable, Iterator
 
 from .descriptors import GR
@@ -43,24 +44,72 @@ class GeneralityIndex:
 
     def __init__(self) -> None:
         self._by_rhs: dict[DescriptorKey, set[tuple[DescriptorKey, DescriptorKey]]] = {}
+        # The subselection list depends only on (l_key, w_key) — one
+        # ``l ∧ w`` enumeration context — while ``is_blocked`` probes it
+        # once per candidate RHS under that context, so it is memoised
+        # as a materialized tuple.
+        self._sub_cache: dict[
+            tuple[DescriptorKey, DescriptorKey],
+            tuple[tuple[DescriptorKey, DescriptorKey], ...],
+        ] = {}
 
     @staticmethod
     def _lw_subselections(
         l_key: DescriptorKey, w_key: DescriptorKey
     ) -> Iterable[tuple[DescriptorKey, DescriptorKey]]:
-        items = [("L", item) for item in l_key] + [("W", item) for item in w_key]
-        n = len(items)
-        for mask in range((1 << n) - 1):  # proper subsets only
-            l_sel = tuple(it for j, (role, it) in enumerate(items) if mask >> j & 1 and role == "L")
-            w_sel = tuple(it for j, (role, it) in enumerate(items) if mask >> j & 1 and role == "W")
-            yield l_sel, w_sel
+        l_subs = [
+            sel
+            for size in range(len(l_key) + 1)
+            for sel in combinations(l_key, size)
+        ]
+        w_subs = [
+            sel
+            for size in range(len(w_key) + 1)
+            for sel in combinations(w_key, size)
+        ]
+        full = (l_key, w_key)
+        for l_sel in l_subs:
+            for w_sel in w_subs:
+                if (l_sel, w_sel) != full:  # proper subsets only
+                    yield l_sel, w_sel
+
+    def _subselections(
+        self, l_key: DescriptorKey, w_key: DescriptorKey
+    ) -> tuple[tuple[DescriptorKey, DescriptorKey], ...]:
+        cache_key = (l_key, w_key)
+        subs = self._sub_cache.get(cache_key)
+        if subs is None:
+            subs = tuple(self._lw_subselections(l_key, w_key))
+            self._sub_cache[cache_key] = subs
+        return subs
 
     def is_blocked(self, l_key: DescriptorKey, w_key: DescriptorKey, r_key: DescriptorKey) -> bool:
-        """Whether a strictly more general GR with the same RHS is indexed."""
+        """Whether a strictly more general GR with the same RHS is indexed.
+
+        Two strategies with identical semantics, chosen by cost: probing
+        the entry set with every proper sub-selection of ``l ∧ w`` is
+        ``O(2^n)``, while scanning the entries for one that is contained
+        in the candidate is ``O(|entries| · n)`` — the latter wins on the
+        deep contexts (large ``n``) that dominate real traversals, where
+        the RHS bucket holds only a handful of maximally general GRs.
+        """
         entries = self._by_rhs.get(r_key)
         if not entries:
             return False
-        return any(sub in entries for sub in self._lw_subselections(l_key, w_key))
+        n = len(l_key) + len(w_key)
+        if len(entries) < (1 << n) >> 1:
+            l_sup = set(l_key)
+            w_sup = set(w_key)
+            own = (l_key, w_key)
+            for entry in entries:
+                if (
+                    entry != own
+                    and l_sup.issuperset(entry[0])
+                    and w_sup.issuperset(entry[1])
+                ):
+                    return True
+            return False
+        return any(sub in entries for sub in self._subselections(l_key, w_key))
 
     def add(self, l_key: DescriptorKey, w_key: DescriptorKey, r_key: DescriptorKey) -> None:
         self._by_rhs.setdefault(r_key, set()).add((l_key, w_key))
