@@ -57,6 +57,7 @@ __all__ = [
     "BranchSpec",
     "CKEY_ABS_SUPPORT",
     "CKEY_APPLY_GENERALITY",
+    "CKEY_FIELDS",
     "CKEY_K",
     "CKEY_MIN_SCORE",
     "CKEY_PUSH_TOPK",
@@ -78,6 +79,11 @@ CKEY_K = 2
 CKEY_RANK_BY = 3
 CKEY_PUSH_TOPK = 4
 CKEY_APPLY_GENERALITY = 13
+#: Total field count of :meth:`MinerConfig.canonical_key` — the length
+#: every well-formed config key must have.  Validators (e.g.
+#: :func:`repro.engine.request.split_canonical_key`) compare against
+#: this instead of a magic 17.
+CKEY_FIELDS = 17
 
 
 @dataclass

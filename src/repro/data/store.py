@@ -40,6 +40,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..serve.markers import coordinator_only
 from .network import SocialNetwork
 from .schema import Schema
 
@@ -169,6 +170,7 @@ class CompactStore:
         self._num_edges = num_edges
         self._fingerprint: str | None = None
 
+    @coordinator_only
     def apply_delta(self) -> StoreDelta:
         """Re-derive the store after the backing network appended edges.
 
@@ -331,6 +333,7 @@ class CompactStore:
             arrays[f"store.e_attrs.{name}"] = self.e_attrs[name]
         return arrays
 
+    @coordinator_only
     def export_shared(self) -> "SharedStoreExport":
         """Copy the store + network arrays into one shared-memory segment.
 
@@ -367,6 +370,7 @@ class CompactStore:
         )
         return SharedStoreExport(shm=shm, handle=handle)
 
+    @coordinator_only
     def lease_shared(self) -> "SharedStoreLease":
         """Export into shared memory under a guaranteed-unlink lease.
 

@@ -43,6 +43,8 @@ import time
 from collections import OrderedDict
 from typing import Hashable
 
+from ..serve.markers import coordinator_only
+
 __all__ = ["DiskResultCache", "ResultCache", "TieredResultCache"]
 
 #: Fixed protocol so key blobs are stable across interpreter runs.
@@ -97,6 +99,7 @@ class ResultCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
 
+    @coordinator_only
     def purge_fingerprint(self, fingerprint: str) -> int:
         """Drop every entry keyed under ``fingerprint``; returns the count.
 
@@ -111,6 +114,7 @@ class ResultCache:
             del self._entries[key]
         return len(stale)
 
+    @coordinator_only
     def take_fingerprint(self, fingerprint: str) -> list[tuple]:
         """Remove and return ``(key, value)`` for every entry under
         ``fingerprint``.
@@ -342,6 +346,7 @@ class DiskResultCache:
             self.evictions += 1
         self._conn.commit()
 
+    @coordinator_only
     def purge_fingerprint(self, fingerprint: str) -> int:
         with self._lock:
             if self._conn is None:
@@ -355,6 +360,7 @@ class DiskResultCache:
             except sqlite3.Error:
                 return 0
 
+    @coordinator_only
     def take_fingerprint(self, fingerprint: str) -> list[tuple]:
         """Remove and return ``(key, value)`` for every row under
         ``fingerprint`` (see :meth:`ResultCache.take_fingerprint`).
@@ -502,10 +508,12 @@ class TieredResultCache:
         self.memory.put(key, value)
         self.disk.put(key, value)
 
+    @coordinator_only
     def purge_fingerprint(self, fingerprint: str) -> int:
         purged = self.memory.purge_fingerprint(fingerprint)
         return purged + self.disk.purge_fingerprint(fingerprint)
 
+    @coordinator_only
     def take_fingerprint(self, fingerprint: str) -> list[tuple]:
         """Remove and return the fingerprint's entries from both tiers.
 

@@ -78,6 +78,8 @@ from ..core.topk import TopKCollector
 from ..data.store import StoreDelta
 from ..parallel.miner import merge_shard_results
 from ..parallel.worker import CrossShardGeneralityVerifier, ShardResult
+from ..serve.markers import coordinator_only
+from .request import split_canonical_key
 
 __all__ = ["MigrationReport", "migrate_fingerprint"]
 
@@ -123,6 +125,7 @@ def _entry_branch(l_map: dict, tau) -> tuple[str, int] | None:
     return None
 
 
+@coordinator_only
 def migrate_fingerprint(engine, old_fingerprint: str, delta: StoreDelta | None) -> MigrationReport:
     """Migrate or purge every cache entry under ``old_fingerprint``.
 
@@ -166,9 +169,10 @@ def _eligible_config(ckey) -> MinerConfig | None:
     ``ckey`` is a :meth:`MineRequest.canonical_key`: the execution mode
     followed by the 17 :meth:`MinerConfig.canonical_key` fields.
     """
-    if not (isinstance(ckey, tuple) and len(ckey) == 18 and ckey[0] == "sharded"):
-        return None  # serial entries are §5.5-path-dependent
-    config = config_from_canonical_key(ckey[1:])
+    split = split_canonical_key(ckey)
+    if split is None or split[0] != "sharded":
+        return None  # malformed key, or serial: §5.5-path-dependent
+    config = config_from_canonical_key(split[1])
     if config.rank_by not in _COUNT_LOCAL_RANKINGS:
         return None  # gain rescales every score with |E|
     if config.apply_generality and config.min_score > 0.0:

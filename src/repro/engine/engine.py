@@ -49,6 +49,7 @@ from ..parallel.miner import (
 from ..parallel.planner import plan_shards
 from ..parallel.pool import BusPool, PersistentWorkerPool, default_start_method
 from ..parallel.worker import ShardTask
+from ..serve.markers import coordinator_only
 from .cache import ResultCache
 from .delta import migrate_fingerprint
 from .request import MineRequest
@@ -308,6 +309,7 @@ class MiningEngine:
             self.network.schema, self.network.num_edges
         ))
 
+    @coordinator_only
     def prepare(self, request: MineRequest, floor: float | None = None) -> PreparedQuery:
         """The front half of one query: cache lookup, planning, sharding.
 
@@ -339,6 +341,7 @@ class MiningEngine:
         self.stats.cache_misses += 1
         return self.plan_query(request, key, floor=floor)
 
+    @coordinator_only
     def plan_query(
         self, request: MineRequest, key: tuple, floor: float | None = None
     ) -> PreparedQuery:
@@ -379,18 +382,26 @@ class MiningEngine:
                 self.stats.warm_starts += 1
         # Inline shards run on this process's own store; pooled ones
         # carry the lease handle so any fleet — including a shared,
-        # store-agnostic hub fleet — can attach the right data.
-        store_handle = self._task_store_handle() if pooled else None
-        tasks = tuple(
-            ShardTask(
-                shard_id=j,
-                branches=branches,
-                config=config,
-                bus_handle=bus.handle() if bus is not None else None,
-                store_handle=store_handle,
+        # store-agnostic hub fleet — can attach the right data.  The
+        # store export can fail (e.g. /dev/shm exhaustion) *after* the
+        # bus checkout above; the checkout is still clean — no task has
+        # been submitted — so it must go back to the pool, not strand.
+        try:
+            store_handle = self._task_store_handle() if pooled else None
+            tasks = tuple(
+                ShardTask(
+                    shard_id=j,
+                    branches=branches,
+                    config=config,
+                    bus_handle=bus.handle() if bus is not None else None,
+                    store_handle=store_handle,
+                )
+                for j, branches in enumerate(shards)
             )
-            for j, branches in enumerate(shards)
-        )
+        except BaseException:
+            if bus is not None:
+                self._bus_pool().release(bus)
+            raise
         return PreparedQuery(
             request=request,
             key=key,
@@ -402,6 +413,7 @@ class MiningEngine:
             floor=applied_floor,
         )
 
+    @coordinator_only
     def execute_prepared(self, prepared: PreparedQuery) -> MiningResult:
         """Run a cached / serial / inline prepared query to completion."""
         if prepared.mode == "cached":
@@ -421,6 +433,7 @@ class MiningEngine:
             "the fleet and calling finish() with the gathered shard results"
         )
 
+    @coordinator_only
     def finish(self, prepared: PreparedQuery, shard_results) -> MiningResult:
         """Merge a pooled/inline query's shard results and cache it.
 
@@ -446,6 +459,7 @@ class MiningEngine:
         self._cache.put(prepared.key, result)
         return result
 
+    @coordinator_only
     def release_bus(self, prepared: PreparedQuery) -> None:
         """Return a prepared query's bus checkout (idempotent).
 
@@ -518,11 +532,13 @@ class MiningEngine:
     # ------------------------------------------------------------------
     # Serial execution
     # ------------------------------------------------------------------
+    @coordinator_only
     def _mine_serial(self, request: MineRequest) -> MiningResult:
         result = self._armed_skeleton(request.to_config()).mine()
         result.params["engine"] = self.fingerprint
         return result
 
+    @coordinator_only
     def _armed_skeleton(self, config: MinerConfig) -> GRMiner:
         """The engine's one serial miner, re-targeted to ``config``."""
         if self._skeleton is None:
@@ -534,6 +550,7 @@ class MiningEngine:
     # ------------------------------------------------------------------
     # Store mutation (append-edge deltas)
     # ------------------------------------------------------------------
+    @coordinator_only
     def append_edges(self, src, dst, edge_codes=None, on_duplicate: str = "allow") -> str:
         """Apply an append-edge delta to the served network, safely.
 
@@ -587,6 +604,7 @@ class MiningEngine:
             )
             return new
 
+    @coordinator_only
     def refresh_store(self, delta: StoreDelta | None = None) -> str:
         """Re-sync serving state after the backing store was rebuilt.
 
@@ -621,6 +639,7 @@ class MiningEngine:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @coordinator_only
     def _ensure_lease(self) -> SharedStoreLease:
         """The live export of the *current* store version (≥ 0 exports:
         kept across pool-spawn failures, retired by refresh_store)."""
@@ -629,15 +648,18 @@ class MiningEngine:
             self.stats.exports += 1
         return self._lease
 
+    @coordinator_only
     def _release_lease(self) -> None:
         if self._lease is not None:
             self._lease.close()
             self._lease = None
 
+    @coordinator_only
     def _task_store_handle(self) -> SharedStoreHandle:
         """The store handle pooled shard tasks must carry."""
         return self._ensure_lease().handle
 
+    @coordinator_only
     def _ensure_pool(self) -> PersistentWorkerPool:
         if self._pool is None:
             # The lease is kept if the spawn below fails: the export
@@ -653,6 +675,7 @@ class MiningEngine:
             self.stats.pool_spawns += 1
         return self._pool
 
+    @coordinator_only
     def _bus_pool(self) -> BusPool:
         if self._buses is None:
             self._buses = BusPool(num_slots=self.workers)

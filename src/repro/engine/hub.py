@@ -61,6 +61,7 @@ from ..data.network import SocialNetwork
 from ..data.store import CompactStore, SharedStoreLease
 from ..parallel.miner import check_worker_count
 from ..parallel.pool import BusPool, PersistentWorkerPool, default_start_method
+from ..serve.markers import coordinator_only
 from .cache import DiskResultCache, ResultCache, TieredResultCache
 from .engine import MiningEngine
 from .request import MineRequest
@@ -89,18 +90,22 @@ class _HubEngine(MiningEngine):
             cache=hub.cache,
         )
 
+    @coordinator_only
     def _ensure_lease(self) -> SharedStoreLease:
         return self._hub._touch_lease(self)
 
+    @coordinator_only
     def _release_lease(self) -> None:
         self._hub._drop_lease(self.name)
 
+    @coordinator_only
     def _ensure_pool(self) -> PersistentWorkerPool:
         # The shared fleet is store-agnostic, so serving a pooled query
         # requires this network's lease to be resident alongside it.
         self._hub._touch_lease(self)
         return self._hub._ensure_pool()
 
+    @coordinator_only
     def _bus_pool(self) -> BusPool:
         return self._hub._bus_pool()
 
@@ -246,6 +251,7 @@ class EngineHub:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    @coordinator_only
     def append_edges(
         self, name: str, src, dst, edge_codes=None, on_duplicate: str = "allow"
     ) -> str:
@@ -269,6 +275,7 @@ class EngineHub:
     # ------------------------------------------------------------------
     # Shared resources (called by _HubEngine)
     # ------------------------------------------------------------------
+    @coordinator_only
     def _ensure_pool(self) -> PersistentWorkerPool:
         if self._pool is None:
             self._pool = PersistentWorkerPool(
@@ -280,11 +287,13 @@ class EngineHub:
             self.pool_spawns += 1
         return self._pool
 
+    @coordinator_only
     def _bus_pool(self) -> BusPool:
         if self._buses is None:
             self._buses = BusPool(num_slots=self.workers)
         return self._buses
 
+    @coordinator_only
     def _touch_lease(self, engine: _HubEngine) -> SharedStoreLease:
         """The live lease for ``engine``, freshly exported if needed,
         promoted to most-recently-served, with the budget enforced."""
@@ -297,11 +306,13 @@ class EngineHub:
         self._evict_over_budget(keep=engine.name)
         return lease
 
+    @coordinator_only
     def _drop_lease(self, name: str) -> None:
         lease = self._leases.pop(name, None)
         if lease is not None:
             lease.close()
 
+    @coordinator_only
     def _evict_over_budget(self, keep: str) -> None:
         if self.lease_budget_bytes is None:
             return
@@ -328,6 +339,7 @@ class EngineHub:
             self._leases.pop(victim).close()
             self.lease_evictions += 1
 
+    @coordinator_only
     def pin_lease(self, name: str) -> None:
         """Exempt ``name``'s lease from budget eviction (refcounted).
 
@@ -341,6 +353,7 @@ class EngineHub:
         """
         self._lease_pins[name] = self._lease_pins.get(name, 0) + 1
 
+    @coordinator_only
     def unpin_lease(self, name: str) -> None:
         """Drop one pin for ``name`` (the lease becomes evictable at 0)."""
         count = self._lease_pins.get(name, 0) - 1
@@ -360,6 +373,7 @@ class EngineHub:
         """The named network's :class:`EngineStats`."""
         return self.engine(name).stats
 
+    @coordinator_only
     def aggregate_stats(self) -> dict[str, int]:
         """Hub-wide counters: summed engine stats plus fleet/lease state."""
         totals: dict[str, int] = {

@@ -15,13 +15,14 @@ from dataclasses import dataclass, field, replace
 from ..core.miner import (
     CKEY_ABS_SUPPORT,
     CKEY_APPLY_GENERALITY,
+    CKEY_FIELDS,
     CKEY_K,
     CKEY_MIN_SCORE,
     CKEY_PUSH_TOPK,
     MinerConfig,
 )
 
-__all__ = ["MineRequest", "warmstart_dominates"]
+__all__ = ["MineRequest", "split_canonical_key", "warmstart_dominates"]
 
 #: MineRequest fields that are *not* forwarded as MinerConfig options.
 _OWN_FIELDS = frozenset({"k", "min_support", "min_nhp", "rank_by", "push_topk", "workers"})
@@ -141,6 +142,29 @@ class MineRequest:
             parts.append(f"workers={self.workers}")
         parts.extend(f"{name}={value}" for name, value in self.options)
         return " ".join(parts)
+
+
+def split_canonical_key(full_key) -> tuple[str, tuple] | None:
+    """Split a full :meth:`MineRequest.canonical_key` into
+    ``(mode, config_key)`` — or ``None`` if it is not one.
+
+    This is the only sanctioned way for layers outside the two
+    layout-owning modules (this one and :mod:`repro.core.miner`) to peel
+    the execution-mode prefix off a canonical key: the ``ckey-layout``
+    lint rule forbids positional subscripts everywhere else, so layout
+    changes stay localized.  Validates shape (a tuple of
+    ``1 + CKEY_FIELDS`` entries whose head is ``"serial"`` or
+    ``"sharded"``) rather than trusting the caller, because cache keys
+    round-trip through the sqlite disk tier and may predate the current
+    layout.
+    """
+    if (
+        isinstance(full_key, tuple)
+        and len(full_key) == 1 + CKEY_FIELDS
+        and full_key[0] in ("serial", "sharded")
+    ):
+        return full_key[0], full_key[1:]
+    return None
 
 
 #: Canonical-key positions masked by the warm-start dominance check —

@@ -1,0 +1,221 @@
+"""Data model for :mod:`repro.lint` — files, pragmas, findings.
+
+The linter operates on a :class:`Project`: every ``*.py`` file reachable
+from the paths given on the command line, parsed once with the stdlib
+:mod:`ast` and annotated with its suppression pragmas.  Rules receive
+the whole project (some, like the coordinator call-graph walk, need
+cross-file context) and yield :class:`Finding` objects; the runner in
+:mod:`repro.lint` then resolves pragma suppressions.
+
+Pragma syntax (comments only — extracted with :mod:`tokenize`, so the
+same text inside a string literal is inert)::
+
+    x = risky()  # repro-lint: disable=RULE[,RULE2] -- why this is safe
+
+A pragma suppresses matching findings on its own line, or — when the
+comment stands alone on a line — on the line directly below.  The
+justification after ``--`` is mandatory: a pragma without one is itself
+reported by the unsuppressable built-in ``pragma`` rule, as is a pragma
+naming a rule the registry does not know.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "Pragma",
+    "Project",
+    "SourceFile",
+    "load_project",
+]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s-]*?)"
+    r"\s*(?:--\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str  # "" when the author omitted the `-- why` part
+    standalone: bool  # comment-only line: applies to the line below too
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    justification: str | None = None  # set when suppressed by a pragma
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.justification is not None:
+            out["justification"] = self.justification
+        return out
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file plus its pragmas."""
+
+    path: Path  # as discovered on disk
+    display: str  # path rendered in reports (relative when possible)
+    rel: str  # package-relative posix path ("repro/serve/x.py") or display
+    text: str
+    tree: ast.Module | None
+    pragmas: dict[int, Pragma] = field(default_factory=dict)
+    error: SyntaxError | None = None
+
+    def pragma_for(self, line: int) -> Pragma | None:
+        """The pragma governing ``line``: same line, or standalone above."""
+        direct = self.pragmas.get(line)
+        if direct is not None:
+            return direct
+        above = self.pragmas.get(line - 1)
+        if above is not None and above.standalone:
+            return above
+        return None
+
+
+class Project:
+    """The set of files a lint run inspects."""
+
+    def __init__(self, files: list[SourceFile]):
+        self.files = files
+
+    def __iter__(self) -> Iterator[SourceFile]:
+        return iter(self.files)
+
+    def files_under(self, *prefixes: str) -> list[SourceFile]:
+        """Files whose package-relative path starts with any prefix."""
+        return [
+            f for f in self.files if any(f.rel.startswith(p) for p in prefixes)
+        ]
+
+
+def _package_rel(path: Path) -> str:
+    """Path relative to the innermost ``repro`` directory, as posix.
+
+    ``/any/where/src/repro/serve/http.py`` → ``repro/serve/http.py``, so
+    path-scoped rules work identically on the real tree and on fixture
+    trees materialised under a tmp dir.  Files outside a ``repro``
+    directory keep their given path.
+    """
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return path.as_posix()
+
+
+def _extract_pragmas(text: str) -> dict[int, Pragma]:
+    pragmas: dict[int, Pragma] = {}
+    code_lines: set[int] = set()
+    comments: list[tuple[int, int, str]] = []  # (line, col, text)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.start[1], tok.string))
+            elif tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                for ln in range(tok.start[0], tok.end[0] + 1):
+                    code_lines.add(ln)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas  # the parse rule reports the file anyway
+    for line, _col, comment in comments:
+        m = _PRAGMA_RE.search(comment)
+        if m is None:
+            continue
+        rules = tuple(
+            r.strip() for r in m.group("rules").split(",") if r.strip()
+        )
+        pragmas[line] = Pragma(
+            line=line,
+            rules=rules,
+            justification=(m.group("why") or "").strip(),
+            standalone=line not in code_lines,
+        )
+    return pragmas
+
+
+def _load_file(path: Path, display: str) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    tree: ast.Module | None = None
+    error: SyntaxError | None = None
+    try:
+        tree = ast.parse(text, filename=display)
+    except SyntaxError as exc:
+        error = exc
+    return SourceFile(
+        path=path,
+        display=display,
+        rel=_package_rel(path),
+        text=text,
+        tree=tree,
+        pragmas=_extract_pragmas(text),
+        error=error,
+    )
+
+
+def _iter_py_files(root: Path) -> Iterable[Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    yield from sorted(
+        p
+        for p in root.rglob("*.py")
+        if "__pycache__" not in p.parts
+    )
+
+
+def load_project(paths: Iterable[str | Path]) -> Project:
+    """Discover, read, and parse every ``*.py`` under ``paths``."""
+    files: list[SourceFile] = []
+    seen: set[Path] = set()
+    cwd = Path.cwd()
+    for raw in paths:
+        root = Path(raw)
+        for path in _iter_py_files(root):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                display = resolved.relative_to(cwd).as_posix()
+            except ValueError:
+                display = path.as_posix()
+            files.append(_load_file(path, display))
+    return Project(files)

@@ -1,0 +1,683 @@
+"""The rule registry: the stack's invariants as AST checks.
+
+Each rule class documents the contract it enforces and the PR that
+introduced that contract.  Rules are deliberately heuristic — they key
+on the project's own naming conventions (``ckey``, ``*pool*.submit``,
+``lease_shared``) rather than attempting type inference — and every
+rule except the built-in ``parse``/``pragma`` meta-rules can be
+suppressed per-line with a justified pragma::
+
+    # repro-lint: disable=rule-name -- one-line reason it is safe
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .model import Finding, Project, SourceFile
+
+__all__ = ["ALL_RULES", "Rule", "UNSUPPRESSABLE", "iter_rules"]
+
+# Findings from these rules cannot be pragma-suppressed: the first is a
+# broken file, the second polices the pragmas themselves.
+UNSUPPRESSABLE = frozenset({"parse", "pragma"})
+
+
+# --------------------------------------------------------------------------
+# shared AST helpers
+
+
+def _walk_scope(body: Iterable[ast.AST]) -> Iterator[ast.AST]:
+    """Walk statements/expressions without descending into nested
+    function or lambda bodies (those are their own scopes)."""
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _last_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _contains_name(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == name for n in ast.walk(node)
+    )
+
+
+def _awaited_call_ids(tree: ast.AST) -> set[int]:
+    """ids of Call nodes that are the direct operand of ``await``."""
+    return {
+        id(n.value)
+        for n in ast.walk(tree)
+        if isinstance(n, ast.Await) and isinstance(n.value, ast.Call)
+    }
+
+
+def _func_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module plus every (async) function definition in it."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _has_marker(node: ast.AST, marker: str) -> bool:
+    for dec in getattr(node, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if _last_name(target) == marker:
+            return True
+    return False
+
+
+class Rule:
+    """Base class: subclasses set ``name`` and implement :meth:`run`."""
+
+    name: str = ""
+
+    @property
+    def description(self) -> str:
+        doc = (self.__doc__ or "").strip()
+        first_paragraph = doc.split("\n\n")[0]
+        return " ".join(first_paragraph.split())
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, file: SourceFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=file.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+# --------------------------------------------------------------------------
+# R1
+
+
+class NoBlockingInAsync(Rule):
+    """Blocking calls are forbidden inside ``async def`` bodies in
+    ``repro/serve/``.
+
+    Invariant (PR 4): the asyncio event loop owns only scheduling
+    state; anything that can block — sleeps, sqlite, file I/O,
+    subprocesses, fleet waits, bare lock acquires — must run on the
+    single coordinator thread via ``Scheduler._run_coord`` so one slow
+    job cannot stall admission, cancellation, and deadline handling for
+    every other client.  Only the coroutine's own body is inspected:
+    nested ``def`` helpers execute on whatever thread calls them.
+    """
+
+    name = "no-blocking-in-async"
+
+    _BLOCKING_ATTRS = frozenset({"acquire", "wait", "run_query", "sweep_serial"})
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project.files_under("repro/serve/"):
+            if file.tree is None:
+                continue
+            awaited = _awaited_call_ids(file.tree)
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    yield from self._check_body(file, node, awaited)
+
+    def _check_body(
+        self, file: SourceFile, func: ast.AsyncFunctionDef, awaited: set[int]
+    ) -> Iterator[Finding]:
+        for node in _walk_scope(func.body):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted == "time.sleep":
+                yield self.finding(
+                    file, node,
+                    f"time.sleep inside 'async def {func.name}' blocks the "
+                    "event loop; use 'await asyncio.sleep' or _run_coord",
+                )
+            elif dotted is not None and dotted.startswith(("sqlite3.", "subprocess.")):
+                yield self.finding(
+                    file, node,
+                    f"blocking {dotted.split('.')[0]} call inside "
+                    f"'async def {func.name}'; route through the coordinator "
+                    "thread (_run_coord)",
+                )
+            elif isinstance(node.func, ast.Name) and node.func.id == "open":
+                yield self.finding(
+                    file, node,
+                    f"file I/O via open() inside 'async def {func.name}' "
+                    "blocks the event loop; route through _run_coord",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._BLOCKING_ATTRS
+                and id(node) not in awaited
+            ):
+                yield self.finding(
+                    file, node,
+                    f"non-awaited .{node.func.attr}() inside "
+                    f"'async def {func.name}' can block the event loop; "
+                    "await the asyncio variant or route through _run_coord",
+                )
+
+
+# --------------------------------------------------------------------------
+# R2
+
+
+class LeaseLifecycle(Rule):
+    """Shared-memory leases and bus checkouts must have an owner.
+
+    Invariant (PRs 1–3): ``export_shared()`` / ``lease_shared()`` /
+    ``SharedStoreLease(...)`` pin POSIX shared-memory segments and
+    ``*.acquire(...)`` checks a ThresholdBus out of its pool; each
+    result must be bound into a ``with`` block, released/closed in the
+    binding scope, handed to another call or object that owns its close
+    path, returned/yielded to the caller, or referenced from a
+    ``try/finally``.  A bare-expression acquisition (or a binding with
+    none of those escape paths) leaks the segment until interpreter
+    exit — on real networks that is hundreds of MB of /dev/shm.
+    The escape analysis is per-scope and name-based, so exotic flows
+    (rebinding through containers, conditional aliasing) may need a
+    justified pragma.
+    """
+
+    name = "lease-lifecycle"
+
+    _ACQUIRE_ATTRS = frozenset({"export_shared", "lease_shared", "acquire"})
+    _CLOSERS = frozenset(
+        {"close", "release", "unlink", "shutdown", "terminate", "detach", "free"}
+    )
+
+    def _is_acquisition(self, node: ast.AST) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        name = _last_name(node.func)
+        if name in self._ACQUIRE_ATTRS or name == "SharedStoreLease":
+            return name
+        return None
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project:
+            if file.tree is None:
+                continue
+            for scope in _func_scopes(file.tree):
+                yield from self._check_scope(file, scope)
+
+    def _check_scope(self, file: SourceFile, scope: ast.AST) -> Iterator[Finding]:
+        body = list(getattr(scope, "body", []))
+        nodes = list(_walk_scope(body))
+        for node in nodes:
+            if isinstance(node, ast.Expr):
+                name = self._is_acquisition(node.value)
+                if name is not None:
+                    yield self.finding(
+                        file, node,
+                        f"result of {name}(...) discarded — bind it and "
+                        "release it (with block, try/finally, or owner object)",
+                    )
+            elif isinstance(node, ast.Assign):
+                acq = self._is_acquisition(node.value)
+                if acq is None:
+                    continue
+                if len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue  # stored on an object/container that owns it
+                if not isinstance(target, ast.Name):
+                    continue
+                if not self._escapes(nodes, node, target.id):
+                    yield self.finding(
+                        file, node,
+                        f"'{target.id}' = {acq}(...) is never entered, "
+                        "released, returned, stored, or passed on in this "
+                        "scope — the lease/bus leaks",
+                    )
+
+    def _escapes(
+        self, nodes: list[ast.AST], assign: ast.Assign, name: str
+    ) -> bool:
+        for node in nodes:
+            if isinstance(node, ast.withitem) and _contains_name(
+                node.context_expr, name
+            ):
+                return True
+            if isinstance(node, ast.Call) and node is not assign.value:
+                if any(_contains_name(a, name) for a in node.args):
+                    return True
+                if any(_contains_name(k.value, name) for k in node.keywords):
+                    return True
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._CLOSERS
+                    and _contains_name(node.func.value, name)
+                ):
+                    return True
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None and _contains_name(node.value, name):
+                    return True
+            if isinstance(node, ast.Assign) and node is not assign:
+                if any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                ) and _contains_name(node.value, name):
+                    return True
+            if isinstance(node, ast.Try) and any(
+                _contains_name(s, name) for s in node.finalbody
+            ):
+                return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# R3
+
+
+class CoordinatorOwnership(Rule):
+    """Functions marked ``@coordinator_only`` may only be *called* (in
+    ``repro/serve/``) from other marked functions or the dispatch shim.
+
+    Invariant (PR 4): one coordinator thread owns every engine/hub/
+    cache internal — planning, bus checkouts, leases and pins, result
+    caches, serial execution.  The event loop reaches them exclusively
+    by handing a function *reference* to ``Scheduler._run_coord``.
+    This rule collects every ``@coordinator_only`` definition in the
+    project, then walks all call sites under ``repro/serve/``: a call
+    to a marked name is legal only from inside another marked function
+    or ``_run_coord`` itself.  ``await``-ed calls are exempt — marked
+    functions are synchronous, so an awaited name is the scheduler's
+    async wrapper, not the engine internal.  Layers below serve are
+    not constrained: in blocking ``engine.sweep()``/``hub.mine()`` use
+    the calling thread *is* the coordinator.
+    """
+
+    name = "coordinator-only"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        marked: dict[str, str] = {}
+        for file in project:
+            if file.tree is None:
+                continue
+            for node in ast.walk(file.tree):
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and _has_marker(node, "coordinator_only"):
+                    marked.setdefault(node.name, f"{file.display}:{node.lineno}")
+        if not marked:
+            return
+        for file in project.files_under("repro/serve/"):
+            if file.tree is None:
+                continue
+            awaited = _awaited_call_ids(file.tree)
+            yield from self._check_calls(
+                file, file.tree.body, None, marked, awaited
+            )
+
+    def _check_calls(
+        self,
+        file: SourceFile,
+        body: Iterable[ast.AST],
+        enclosing: ast.AST | None,
+        marked: dict[str, str],
+        awaited: set[int],
+    ) -> Iterator[Finding]:
+        stack = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_calls(
+                    file, node.body, node, marked, awaited
+                )
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            if not isinstance(node, ast.Call):
+                continue
+            name = _last_name(node.func)
+            if name not in marked or id(node) in awaited:
+                continue
+            if self._caller_allowed(enclosing):
+                continue
+            where = (
+                f"unmarked function '{enclosing.name}'"
+                if enclosing is not None
+                else "module level"
+            )
+            yield self.finding(
+                file, node,
+                f"coordinator-owned '{name}' (defined at {marked[name]}) "
+                f"called from {where}; route through "
+                "Scheduler._run_coord or mark the caller "
+                "@coordinator_only",
+            )
+
+    @staticmethod
+    def _caller_allowed(enclosing: ast.AST | None) -> bool:
+        if enclosing is None:
+            return False
+        if getattr(enclosing, "name", "") == "_run_coord":
+            return True
+        return _has_marker(enclosing, "coordinator_only")
+
+
+# --------------------------------------------------------------------------
+# R4
+
+
+class PickleBoundary(Rule):
+    """No lambdas or locally-defined functions/classes may flow into
+    ``PersistentWorkerPool.submit`` arguments or ``ShardTask`` fields.
+
+    Invariant (PRs 1–2): shard tasks cross a process boundary and are
+    pickled; lambdas, closures, and classes defined inside a function
+    fail to pickle (or worse, unpickle against a stale module on the
+    worker).  Everything a ``ShardTask`` carries, and every positional
+    argument of a ``*pool*/*fleet*.submit(...)`` call, must be
+    module-level and importable by name on the worker side.  The
+    ``callback=``/``error_callback=`` keywords of ``submit`` are exempt
+    — they run in the parent process and never cross the boundary.
+    """
+
+    name = "pickle-boundary"
+
+    _PARENT_ONLY_KWARGS = frozenset({"callback", "error_callback"})
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project:
+            if file.tree is None:
+                continue
+            yield from self._check_scope(file, file.tree.body, frozenset())
+
+    def _check_scope(
+        self, file: SourceFile, body: Iterable[ast.AST], local_defs: frozenset[str]
+    ) -> Iterator[Finding]:
+        stack = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = frozenset(
+                    n.name
+                    for n in _walk_scope(node.body)
+                    if isinstance(
+                        n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    )
+                )
+                yield from self._check_scope(file, node.body, inner)
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            if isinstance(node, ast.Call):
+                yield from self._check_call(file, node, local_defs)
+
+    def _check_call(
+        self, file: SourceFile, call: ast.Call, local_defs: frozenset[str]
+    ) -> Iterator[Finding]:
+        func = call.func
+        pickled: list[ast.AST] = []
+        if isinstance(func, ast.Attribute) and func.attr == "submit":
+            receiver = (_dotted(func.value) or "").lower()
+            if "pool" not in receiver and "fleet" not in receiver:
+                return
+            pickled.extend(call.args)
+            pickled.extend(
+                kw.value
+                for kw in call.keywords
+                if kw.arg not in self._PARENT_ONLY_KWARGS
+            )
+        elif _last_name(func) == "ShardTask":
+            pickled.extend(call.args)
+            pickled.extend(kw.value for kw in call.keywords)
+        else:
+            return
+        for expr in pickled:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Lambda):
+                    yield self.finding(
+                        file, node,
+                        "lambda cannot cross the worker pickle boundary; "
+                        "use a module-level function",
+                    )
+                elif (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in local_defs
+                ):
+                    yield self.finding(
+                        file, node,
+                        f"locally-defined '{node.id}' cannot cross the "
+                        "worker pickle boundary; define it at module level",
+                    )
+
+
+# --------------------------------------------------------------------------
+# R5
+
+
+class CkeyLayout(Rule):
+    """Integer subscripts into canonical-key tuples are forbidden
+    outside ``repro/engine/request.py`` and ``repro/core/miner.py``.
+
+    Invariant (PR 2, frozen in PRs 5–6): the canonical key —
+    ``("serial"|"sharded",) + MinerConfig.canonical_key`` — is the
+    stack-wide cache/dedup identity, and its field order is decoded by
+    warm-start dominance and delta migration.  Positional pokes like
+    ``ckey[4]`` scattered across layers make the layout impossible to
+    evolve; all decoding must go through the ``CKEY_*`` constants,
+    ``config_from_canonical_key``, or ``split_canonical_key`` in the
+    two layout-owning modules.  Detection is name-based: subscripts
+    with a literal integer index (or slice) on names matching
+    ``ckey``/``canonical_key`` (with ``*_``/``_*`` variants) or on a
+    direct ``.canonical_key`` call result.
+    """
+
+    name = "ckey-layout"
+
+    _ALLOWED = frozenset({"repro/engine/request.py", "repro/core/miner.py"})
+
+    @staticmethod
+    def _is_ckey_name(name: str) -> bool:
+        return (
+            name in ("ckey", "canonical_key")
+            or name.endswith(("_ckey", "_canonical_key"))
+            or name.startswith("ckey_")
+        )
+
+    def _is_ckey_base(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return self._is_ckey_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._is_ckey_name(node.attr)
+        if isinstance(node, ast.Call):
+            return _last_name(node.func) == "canonical_key"
+        return False
+
+    @staticmethod
+    def _is_int_index(node: ast.AST) -> bool:
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return True
+        if (
+            isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, ast.USub)
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, int)
+        ):
+            return True
+        if isinstance(node, ast.Slice):
+            bounds = [b for b in (node.lower, node.upper) if b is not None]
+            return bool(bounds) and all(
+                CkeyLayout._is_int_index(b) for b in bounds
+            )
+        return False
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project:
+            if file.tree is None or file.rel in self._ALLOWED:
+                continue
+            for node in ast.walk(file.tree):
+                if (
+                    isinstance(node, ast.Subscript)
+                    and self._is_ckey_base(node.value)
+                    and self._is_int_index(node.slice)
+                ):
+                    yield self.finding(
+                        file, node,
+                        "integer subscript into a canonical key outside the "
+                        "layout-owning modules; use CKEY_* constants, "
+                        "config_from_canonical_key, or split_canonical_key",
+                    )
+
+
+# --------------------------------------------------------------------------
+# R6
+
+
+class SwallowedException(Rule):
+    """Bare ``except:`` / ``except Exception: pass`` is forbidden in
+    ``repro/parallel/`` and ``repro/serve/``.
+
+    Invariant (PRs 1 and 4): worker and scheduler failures must
+    re-raise, log, record, or degrade explicitly — a silently swallowed
+    broad exception in the fleet or the serving loop turns a crashed
+    shard into a hung job or a wrong (partial) answer.  Narrow
+    except clauses (``except FileNotFoundError: pass``) are fine, as is
+    any broad handler whose body does real work.  Genuine best-effort
+    teardown sites must carry a justified pragma.
+    """
+
+    name = "swallowed-exception"
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _is_broad(self, h: ast.ExceptHandler) -> bool:
+        if h.type is None:
+            return True
+        types = h.type.elts if isinstance(h.type, ast.Tuple) else [h.type]
+        return any(
+            isinstance(t, ast.Name) and t.id in self._BROAD for t in types
+        )
+
+    @staticmethod
+    def _is_pass_only(h: ast.ExceptHandler) -> bool:
+        return all(
+            isinstance(s, ast.Pass)
+            or (isinstance(s, ast.Expr) and isinstance(s.value, ast.Constant))
+            for s in h.body
+        )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project.files_under("repro/parallel/", "repro/serve/"):
+            if file.tree is None:
+                continue
+            for node in ast.walk(file.tree):
+                if (
+                    isinstance(node, ast.ExceptHandler)
+                    and self._is_broad(node)
+                    and self._is_pass_only(node)
+                ):
+                    what = "bare except" if node.type is None else "broad except"
+                    yield self.finding(
+                        file, node,
+                        f"{what} that swallows the error — re-raise, log, or "
+                        "record the failure (or pragma with a justification)",
+                    )
+
+
+# --------------------------------------------------------------------------
+# built-in meta-rules
+
+
+class ParseFailure(Rule):
+    """A file the linter cannot parse is itself a finding.
+
+    Built-in, unsuppressable: every rule silently skips unparseable
+    files, so without this the brokenest file would be the cleanest.
+    """
+
+    name = "parse"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project:
+            if file.error is not None:
+                yield Finding(
+                    rule=self.name,
+                    path=file.display,
+                    line=file.error.lineno or 1,
+                    col=(file.error.offset or 1) - 1,
+                    message=f"syntax error: {file.error.msg}",
+                )
+
+
+class PragmaHygiene(Rule):
+    """Every suppression pragma must name known rules and carry a
+    ``-- justification``.
+
+    Built-in, unsuppressable: the acceptance bar for this tool is that
+    every shipped suppression is a reviewed, written-down decision —
+    an unexplained or misspelled pragma is silent rot.
+    """
+
+    name = "pragma"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        known = set(ALL_RULES)
+        for file in project:
+            for pragma in file.pragmas.values():
+                loc = dict(rule=self.name, path=file.display, line=pragma.line, col=0)
+                if not pragma.rules:
+                    yield Finding(
+                        message="pragma names no rules "
+                        "(use disable=rule[,rule...])",
+                        **loc,
+                    )
+                for rule in pragma.rules:
+                    if rule not in known:
+                        yield Finding(
+                            message=f"pragma names unknown rule '{rule}'",
+                            **loc,
+                        )
+                if not pragma.justification:
+                    yield Finding(
+                        message="pragma is missing its '-- justification'",
+                        **loc,
+                    )
+
+
+ALL_RULES: dict[str, Rule] = {
+    rule.name: rule
+    for rule in (
+        NoBlockingInAsync(),
+        LeaseLifecycle(),
+        CoordinatorOwnership(),
+        PickleBoundary(),
+        CkeyLayout(),
+        SwallowedException(),
+        ParseFailure(),
+        PragmaHygiene(),
+    )
+}
+
+
+def iter_rules() -> Iterator[Rule]:
+    return iter(ALL_RULES.values())

@@ -25,6 +25,7 @@ import threading
 from typing import Callable, Sequence
 
 from ..data.store import SharedStoreHandle
+from ..serve.markers import coordinator_only
 from .bus import ThresholdBus
 from .worker import ShardResult, ShardTask, initialize_worker, run_shard
 
@@ -197,6 +198,7 @@ class BusPool:
         self._all: list[ThresholdBus] = []
         self._closed = False
 
+    @coordinator_only
     def acquire(self, floor: float | None = None) -> ThresholdBus:
         """Check out a clean bus (all slots at −inf), optionally seeded.
 
@@ -217,6 +219,7 @@ class BusPool:
             bus.seed(floor)
         return bus
 
+    @coordinator_only
     def release(self, bus: ThresholdBus) -> None:
         """Return a bus once its query has been fully gathered."""
         if not self._closed:

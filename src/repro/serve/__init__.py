@@ -37,9 +37,11 @@ is the CLI entry.
 True
 """
 
-from .http import ServeHTTP, result_payload
-from .job import JobCancelled, JobState, ServeJob
-from .scheduler import Scheduler
+# Submodule attributes resolve lazily (PEP 562) so that the layers
+# below serve can import the leaf `repro.serve.markers` without pulling
+# the scheduler — and through it the whole engine stack — into their
+# import graph.
+from .markers import coordinator_only, is_coordinator_only
 
 __all__ = [
     "JobCancelled",
@@ -47,5 +49,31 @@ __all__ = [
     "Scheduler",
     "ServeHTTP",
     "ServeJob",
+    "coordinator_only",
+    "is_coordinator_only",
     "result_payload",
 ]
+
+_LAZY = {
+    "ServeHTTP": "http",
+    "result_payload": "http",
+    "JobCancelled": "job",
+    "JobState": "job",
+    "ServeJob": "job",
+    "Scheduler": "scheduler",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{module}", __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

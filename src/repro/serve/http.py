@@ -166,6 +166,7 @@ class ServeHTTP:
             try:
                 writer.close()
                 await writer.wait_closed()
+            # repro-lint: disable=swallowed-exception -- best-effort socket teardown: the response is already sent (or the peer is gone) and a close failure has no one left to report to
             except Exception:
                 pass
 

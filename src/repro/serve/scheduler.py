@@ -86,6 +86,7 @@ from ..core.results import MiningResult
 from ..engine.hub import EngineHub
 from ..engine.request import MineRequest, warmstart_dominates
 from .job import JobCancelled, JobState, ServeJob
+from .markers import coordinator_only
 
 __all__ = ["Scheduler"]
 
@@ -680,6 +681,7 @@ class Scheduler:
         self._enter_ready(job)
         self._fill_slots()
 
+    @coordinator_only
     def _prepare_sync(self, engine, job: ServeJob, floor=None):
         # Runs on the coordinator thread.  The pin must precede the
         # prepare: prepare resolves the store handle (possibly exporting
@@ -868,6 +870,7 @@ class Scheduler:
         except BaseException as exc:
             self._resolve(job, JobState.FAILED, error=exc)
 
+    @coordinator_only
     def _finish_sync(self, engine, job: ServeJob) -> MiningResult:
         # Coordinator thread: merge, cache, then release bus and pin.
         try:
@@ -875,6 +878,7 @@ class Scheduler:
         finally:
             self._release_sync(engine, job)
 
+    @coordinator_only
     def _release_sync(self, engine, job: ServeJob) -> None:
         # Coordinator thread.  Safe exactly because finalize waits for
         # every submitted shard to settle first.

@@ -454,6 +454,27 @@ class TestEngineLifecycle:
             assert engine.stats.cache_hits == 1  # the sweep cached it
         assert _signature(again) == _signature(_fresh(network, pooled))
 
+    def test_failed_store_export_recycles_the_bus_checkout(self, monkeypatch):
+        """plan_query acquires the threshold bus *before* resolving the
+        store handle; if the shared-memory export then fails (e.g.
+        /dev/shm exhaustion) the clean checkout must go back to the
+        pool, not strand until close().  Found by the lease-lifecycle
+        lint audit (PR 8)."""
+        network = _network(0)
+        request = MineRequest(k=5, min_support=2, min_nhp=0.3, workers=2)
+        with MiningEngine(network, workers=2) as engine:
+            def boom():
+                raise OSError("no space left on /dev/shm")
+            monkeypatch.setattr(engine, "_task_store_handle", boom)
+            with pytest.raises(OSError):
+                engine.plan_query(request, engine.query_key(request))
+            buses = engine._buses
+            assert buses is not None  # the checkout happened...
+            assert len(buses._free) == len(buses._all) == 1  # ...and returned
+            monkeypatch.undo()
+            result = engine.mine(request)  # the engine still serves
+        assert _signature(result) == _signature(_fresh(network, request))
+
     def test_engine_survives_a_worker_side_failure(self):
         """Shards that die *in the pool* must not poison later queries.
 

@@ -30,6 +30,7 @@ from hypothesis import strategies as st
 from repro.core.miner import (
     CKEY_ABS_SUPPORT,
     CKEY_APPLY_GENERALITY,
+    CKEY_FIELDS,
     CKEY_K,
     CKEY_MIN_SCORE,
     CKEY_PUSH_TOPK,
@@ -40,7 +41,7 @@ from repro.core.miner import (
 from repro.datasets.random_graphs import random_attributed_network, random_schema
 from repro.engine import EngineHub, MineRequest
 from repro.engine.engine import MiningEngine
-from repro.engine.request import warmstart_dominates
+from repro.engine.request import split_canonical_key, warmstart_dominates
 from repro.parallel import ParallelGRMiner
 from repro.serve import JobCancelled, JobState, Scheduler
 
@@ -102,6 +103,29 @@ class TestCanonicalKeyLayout:
         absolute = MineRequest(k=5, min_support=5, min_nhp=0.3, workers=2)
         fractional = MineRequest(k=5, min_support=0.05, min_nhp=0.3, workers=2)
         assert _key(network, absolute) == _key(network, fractional)
+
+    def test_split_canonical_key_round_trips_and_validates(self):
+        """The sanctioned decoder for layers outside the layout owners
+        (the ckey-layout lint rule forbids positional subscripts there)."""
+        network = _make_network(0)
+        for request in (
+            MineRequest(k=5, min_support=2, min_nhp=0.3),
+            MineRequest(k=5, min_support=2, min_nhp=0.3, workers=2),
+        ):
+            full = _key(network, request)
+            split = split_canonical_key(full)
+            assert split is not None
+            mode, config_key = split
+            assert mode == ("serial" if request.workers is None else "sharded")
+            assert (mode,) + tuple(config_key) == full
+            assert len(config_key) == CKEY_FIELDS
+        # Anything that is not a current-layout key decodes to None —
+        # disk-cache keys may predate the layout.
+        good = _key(network, MineRequest(workers=2))
+        assert split_canonical_key(good[:-1]) is None  # truncated
+        assert split_canonical_key(("pooled",) + good[1:]) is None  # bad mode
+        assert split_canonical_key(list(good)) is None  # not a tuple
+        assert split_canonical_key(None) is None
 
 
 class TestDominance:
