@@ -34,19 +34,18 @@ from __future__ import annotations
 
 import argparse
 import gc
-import json
 import os
 import time
 from pathlib import Path
 
 from repro.bench.harness import format_series, profile_mining
+from repro.bench.history import add_history_arguments, record_bench_run
 from repro.core.kernels import NUMBA_AVAILABLE
 from repro.core.miner import GRMiner, MinerConfig
 from repro.datasets import synthetic_pokec
 
 OUT_DIR = Path(__file__).resolve().parent / "out"
 TXT_PATH = OUT_DIR / "kernel.txt"
-JSON_PATH = OUT_DIR / "BENCH_kernel.json"
 PSTATS_PATH = OUT_DIR / "kernel_profile.pstats"
 
 #: CPU-time speedup the vector tier must clear over the reference.
@@ -184,13 +183,28 @@ def main(argv=None) -> int:
         help="also cProfile one vector-tier branch walk "
         f"(raw profile to {PSTATS_PATH.name})",
     )
+    add_history_arguments(parser)
     args = parser.parse_args(argv)
     OUT_DIR.mkdir(exist_ok=True)
     table, payload = run(args.quick, max(1, args.repeats))
     print(table)
     TXT_PATH.write_text(table + "\n")
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {TXT_PATH}\nwrote {JSON_PATH}")
+    history = record_bench_run(
+        "kernel",
+        payload,
+        OUT_DIR,
+        headline={
+            "vector_speedup": {
+                "value": payload["summary"]["vector_speedup"],
+                "better": "higher",
+            },
+        },
+        config={"quick": args.quick, "repeats": max(1, args.repeats)},
+        timestamp=args.timestamp,
+        history_path=args.history,
+    )
+    print(f"\nwrote {TXT_PATH}\nwrote {OUT_DIR / 'BENCH_kernel.json'}")
+    print(f"appended {history}")
 
     if args.profile:
         miner = GRMiner(

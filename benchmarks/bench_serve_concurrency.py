@@ -12,7 +12,16 @@ does not collect it):
 ``--quick`` shrinks the datasets and grid to a CI-sized smoke run.  The
 table goes to stdout and ``benchmarks/out/serve_concurrency.txt``; the
 machine-readable rows and summary go to
-``benchmarks/out/BENCH_serve.json`` (the CI artifact).
+``benchmarks/out/BENCH_serve.json`` (the CI artifact) and append a
+history row to ``benchmarks/out/history.jsonl``.
+
+The served phase runs **twice**: once with observability off
+(``observe=False`` + a disabled metrics registry) and once with metrics
+and tracing on, an HTTP facade attached, and a ``GET /metrics`` scrape
+saved to ``benchmarks/out/metrics_scrape.prom``.  The bench asserts the
+instrumented run's urgent p95 and total wall-clock stay within 5% (plus
+a small absolute epsilon for timer noise) of the obs-disabled run — the
+observability overhead gate.
 
 Workload: a **bulk** low-priority sweep (many grid points on network A)
 is submitted first, then a stream of **urgent** high-priority single
@@ -35,20 +44,27 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import os
 import time
 from itertools import product
 from pathlib import Path
 
 from repro.bench.harness import format_series
+from repro.bench.history import add_history_arguments, record_bench_run
 from repro.datasets import synthetic_dblp, synthetic_pokec
 from repro.engine import EngineHub, MineRequest
-from repro.serve import Scheduler
+from repro.obs import REGISTRY
+from repro.serve import Scheduler, ServeHTTP
 
 OUT_DIR = Path(__file__).resolve().parent / "out"
 TXT_PATH = OUT_DIR / "serve_concurrency.txt"
-JSON_PATH = OUT_DIR / "BENCH_serve.json"
+SCRAPE_PATH = OUT_DIR / "metrics_scrape.prom"
+
+#: Overhead gate: instrumented run must stay within this fraction of
+#: the obs-disabled run (plus an absolute epsilon for timer noise on
+#: sub-second quick runs).
+OVERHEAD_TOLERANCE = 0.05
+OVERHEAD_EPSILON_S = 0.25
 
 
 def _networks(quick: bool) -> dict:
@@ -110,6 +126,34 @@ def _latency_summary(latencies: dict[str, list[float]]) -> dict:
     }
 
 
+def _overhead_gate(
+    off_p95: float, on_p95: float, off_total: float, on_total: float
+) -> dict:
+    """Compare the instrumented run against the obs-disabled one.
+
+    ``within_tolerance`` is the bench's acceptance criterion: each
+    instrumented number must not exceed its baseline by more than
+    ``OVERHEAD_TOLERANCE`` (fractional) plus ``OVERHEAD_EPSILON_S``
+    (absolute — quick-run numbers are fractions of a second, where
+    scheduler jitter alone exceeds 5%).
+    """
+
+    def ok(off: float, on: float) -> bool:
+        return on <= off * (1.0 + OVERHEAD_TOLERANCE) + OVERHEAD_EPSILON_S
+
+    return {
+        "disabled_urgent_p95_s": off_p95,
+        "enabled_urgent_p95_s": on_p95,
+        "disabled_total_s": off_total,
+        "enabled_total_s": on_total,
+        "urgent_p95_ratio": on_p95 / off_p95 if off_p95 else 1.0,
+        "total_ratio": on_total / off_total if off_total else 1.0,
+        "tolerance": OVERHEAD_TOLERANCE,
+        "epsilon_s": OVERHEAD_EPSILON_S,
+        "within_tolerance": ok(off_p95, on_p95) and ok(off_total, on_total),
+    }
+
+
 def run(quick: bool, workers: int) -> tuple[str, dict]:
     networks = _networks(quick)
     stream = _workload(quick, workers)
@@ -136,12 +180,16 @@ def run(quick: bool, workers: int) -> tuple[str, dict]:
         seq_total = time.perf_counter() - t0
 
     # ---- served: one scheduler, urgent priority jumps the bulk --------
-    async def _served():
+    # Runs twice: observability off (the overhead baseline), then fully
+    # instrumented with an HTTP facade attached and /metrics scraped.
+    async def _served(observe: bool):
+        REGISTRY.set_enabled(observe)
         latency: dict[str, list[float]] = {"bulk": [], "urgent": []}
+        scrape = None
         with EngineHub(workers=workers) as hub:
             for name, network in networks.items():
                 hub.register(name, network)
-            async with Scheduler(hub) as scheduler:
+            async with Scheduler(hub, observe=observe) as scheduler:
                 t0 = time.perf_counter()
                 jobs = [
                     (i, klass, scheduler.submit(
@@ -172,11 +220,28 @@ def run(quick: bool, workers: int) -> tuple[str, dict]:
                 )
                 overtook = urgent_finish < bulk_finish
                 sched_stats = scheduler.stats()
-        return latency, served_total, sigs, overtook, done_at, sched_stats
+                if observe:
+                    scrape = await _scrape_metrics(scheduler)
+        return latency, served_total, sigs, overtook, done_at, sched_stats, scrape
 
-    served_latency, served_total, served_sigs, overtook, done_at, sched_stats = (
-        asyncio.run(_served())
+    async def _scrape_metrics(scheduler) -> str:
+        # A real wire scrape, as a Prometheus agent would take it.
+        async with ServeHTTP(scheduler, port=0) as server:
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(b"GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+        return raw.split(b"\r\n\r\n", 1)[1].decode()
+
+    off_latency, off_total, _, _, _, _, _ = asyncio.run(_served(observe=False))
+    served_latency, served_total, served_sigs, overtook, done_at, sched_stats, scrape = (
+        asyncio.run(_served(observe=True))
     )
+    REGISTRY.set_enabled(True)
+    SCRAPE_PATH.parent.mkdir(exist_ok=True)
+    SCRAPE_PATH.write_text(scrape)
     for i, (row, expected, got) in enumerate(zip(rows, baseline_sigs, served_sigs)):
         row["served latency (s)"] = done_at[i]
         equal = expected == got
@@ -201,6 +266,12 @@ def run(quick: bool, workers: int) -> tuple[str, dict]:
         ),
         "scheduler": sched_stats,
         "mismatches": mismatches,
+        "obs_overhead": _overhead_gate(
+            off_p95=_percentile(off_latency["urgent"], 0.95),
+            on_p95=_percentile(served_latency["urgent"], 0.95),
+            off_total=off_total,
+            on_total=served_total,
+        ),
     }
     payload = {
         "config": {
@@ -231,14 +302,38 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="CI smoke run: small data, small grid"
     )
     parser.add_argument("--workers", type=int, default=2, help="shared fleet size")
+    add_history_arguments(parser)
     args = parser.parse_args(argv)
     OUT_DIR.mkdir(exist_ok=True)
     table, payload = run(args.quick, max(1, args.workers))
     print(table)
     TXT_PATH.write_text(table + "\n")
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {TXT_PATH}\nwrote {JSON_PATH}")
     summary = payload["summary"]
+    history = record_bench_run(
+        "serve",
+        payload,
+        OUT_DIR,
+        headline={
+            "urgent_p95_s": {
+                "value": summary["served_latency"]["urgent"]["p95_s"],
+                "better": "lower",
+            },
+            "served_total_s": {"value": summary["served_total_s"], "better": "lower"},
+            "urgent_p95_speedup": {
+                "value": summary["urgent_p95_speedup"],
+                "better": "higher",
+            },
+            "obs_total_ratio": {
+                "value": summary["obs_overhead"]["total_ratio"],
+                "better": "lower",
+            },
+        },
+        config={"quick": args.quick, "workers": max(1, args.workers)},
+        timestamp=args.timestamp,
+        history_path=args.history,
+    )
+    print(f"\nwrote {TXT_PATH}\nwrote {OUT_DIR / 'BENCH_serve.json'}")
+    print(f"wrote {SCRAPE_PATH}\nappended {history}")
     if summary["mismatches"]:
         print(f"RESULT MISMATCH: {summary['mismatches']} verification failure(s)")
         return 1
@@ -246,6 +341,18 @@ def main(argv=None) -> int:
         print(
             "PRIORITY INVERSION: the high-priority stream did not overtake "
             "the earlier-submitted bulk sweep"
+        )
+        return 1
+    overhead = summary["obs_overhead"]
+    if not overhead["within_tolerance"]:
+        print(
+            "OBSERVABILITY OVERHEAD: instrumented run exceeded the "
+            f"obs-disabled baseline by more than {OVERHEAD_TOLERANCE:.0%} "
+            f"(+{OVERHEAD_EPSILON_S}s): urgent p95 "
+            f"{overhead['disabled_urgent_p95_s']:.3f}s -> "
+            f"{overhead['enabled_urgent_p95_s']:.3f}s, total "
+            f"{overhead['disabled_total_s']:.3f}s -> "
+            f"{overhead['enabled_total_s']:.3f}s"
         )
         return 1
     return 0

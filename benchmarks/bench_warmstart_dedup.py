@@ -31,12 +31,12 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import json
 import os
 import time
 from pathlib import Path
 
 from repro.bench.harness import format_series
+from repro.bench.history import add_history_arguments, record_bench_run
 from repro.datasets import synthetic_pokec
 from repro.engine import EngineHub, MineRequest
 from repro.parallel import ParallelGRMiner
@@ -44,7 +44,6 @@ from repro.serve import Scheduler
 
 OUT_DIR = Path(__file__).resolve().parent / "out"
 TXT_PATH = OUT_DIR / "warmstart_dedup.txt"
-JSON_PATH = OUT_DIR / "BENCH_warmstart.json"
 
 
 def _network(quick: bool):
@@ -212,13 +211,32 @@ def main(argv=None) -> int:
         "--quick", action="store_true", help="CI smoke run: small data, small grid"
     )
     parser.add_argument("--workers", type=int, default=2, help="shared fleet size")
+    add_history_arguments(parser)
     args = parser.parse_args(argv)
     OUT_DIR.mkdir(exist_ok=True)
     table, payload = run(args.quick, max(1, args.workers))
     print(table)
     TXT_PATH.write_text(table + "\n")
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {TXT_PATH}\nwrote {JSON_PATH}")
+    history = record_bench_run(
+        "warmstart",
+        payload,
+        OUT_DIR,
+        headline={
+            "grs_examined_saved": {
+                "value": payload["summary"]["grs_examined_saved"],
+                "better": "higher",
+            },
+            "dedup_concurrent_elapsed_s": {
+                "value": payload["summary"]["dedup_concurrent_elapsed_s"],
+                "better": "lower",
+            },
+        },
+        config={"quick": args.quick, "workers": max(1, args.workers)},
+        timestamp=args.timestamp,
+        history_path=args.history,
+    )
+    print(f"\nwrote {TXT_PATH}\nwrote {OUT_DIR / 'BENCH_warmstart.json'}")
+    print(f"appended {history}")
     summary = payload["summary"]
     if summary["mismatches"]:
         print(f"RESULT MISMATCH: {summary['mismatches']} verification failure(s)")

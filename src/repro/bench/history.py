@@ -1,0 +1,259 @@
+"""Persisted bench trajectory — append-only history + regression checks.
+
+Every ``benchmarks/bench_*.py`` run routes its result payload through
+:func:`record_bench_run`, which does two things:
+
+* writes the **latest snapshot** to ``BENCH_<name>.json`` exactly as the
+  benches always did (dashboards and CI artifact consumers keep their
+  contract), and
+* **appends** one row to ``benchmarks/out/history.jsonl`` — timestamp,
+  git sha, the bench's config, and its headline numbers — so local
+  re-runs accumulate a trajectory instead of overwriting each other.
+
+A history row::
+
+    {"ts": "2026-08-07T12:00:00+00:00", "git_sha": "0ebf920...",
+     "bench": "serve", "config": {"quick": true, "workers": 4},
+     "headline": {"urgent_p95_s": {"value": 0.41, "better": "lower"},
+                  "throughput_jobs_s": {"value": 52.0, "better": "higher"}}}
+
+Rows are grouped by ``(bench, config)`` — numbers from a ``--quick`` run
+never baseline a full run.  :func:`check_regressions` compares each
+group's latest row against the **median of its prior runs** (robust to
+a single noisy outlier) and flags any headline metric that moved beyond
+a tolerance in its bad direction.  ``repro bench-report`` renders the
+trajectory and, with ``--check``, exits non-zero on regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import statistics
+import subprocess
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = [
+    "HISTORY_FILENAME",
+    "add_history_arguments",
+    "check_regressions",
+    "format_report",
+    "git_sha",
+    "load_history",
+    "record_bench_run",
+]
+
+HISTORY_FILENAME = "history.jsonl"
+
+
+def git_sha(cwd: str | Path | None = None) -> str:
+    """The commit the run measured: ``$GITHUB_SHA`` in CI, else git HEAD,
+    else ``"unknown"`` (a checkout-less run still records a row)."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def add_history_arguments(parser: argparse.ArgumentParser) -> None:
+    """Add the shared ``--timestamp`` / ``--history`` bench arguments."""
+    parser.add_argument(
+        "--timestamp",
+        default=None,
+        help="ISO timestamp recorded in the history row "
+        "(default: current UTC time; pin it for reproducible rows)",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        help=f"history file to append to (default: <out dir>/{HISTORY_FILENAME})",
+    )
+
+
+def record_bench_run(
+    name: str,
+    payload: Mapping,
+    out_dir: str | Path,
+    headline: Mapping[str, Mapping],
+    config: Mapping | None = None,
+    timestamp: str | None = None,
+    history_path: str | Path | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` (latest snapshot) and append a history row.
+
+    ``headline`` maps metric name to ``{"value": number, "better":
+    "lower"|"higher"}`` — the direction is what lets the regression
+    check flag a throughput drop and a latency rise with one rule.
+    Returns the history path.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    snapshot_path = out_dir / f"BENCH_{name}.json"
+    snapshot_path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    for metric, entry in headline.items():
+        if "value" not in entry:
+            raise ValueError(f"headline metric {metric!r} has no 'value'")
+        if entry.get("better", "lower") not in ("lower", "higher"):
+            raise ValueError(f"headline metric {metric!r}: 'better' must be 'lower' or 'higher'")
+    row = {
+        "ts": timestamp
+        or datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": git_sha(out_dir),
+        "bench": name,
+        "config": dict(config or {}),
+        "headline": {
+            metric: {"value": entry["value"], "better": entry.get("better", "lower")}
+            for metric, entry in headline.items()
+        },
+    }
+    path = Path(history_path) if history_path is not None else out_dir / HISTORY_FILENAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(row, default=str) + "\n")
+    return path
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """Parse a ``history.jsonl`` file (missing file -> empty history)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    rows: list[dict] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: invalid history row: {exc}") from None
+        if not isinstance(row, dict) or "bench" not in row:
+            raise ValueError(f"{path}:{lineno}: history row must be an object with 'bench'")
+        rows.append(row)
+    return rows
+
+
+def _group_key(row: Mapping) -> tuple[str, str]:
+    return str(row.get("bench")), json.dumps(row.get("config") or {}, sort_keys=True)
+
+
+def _grouped(rows: Sequence[Mapping]) -> dict[tuple[str, str], list[Mapping]]:
+    groups: dict[tuple[str, str], list[Mapping]] = {}
+    for row in rows:
+        groups.setdefault(_group_key(row), []).append(row)
+    return groups
+
+
+def check_regressions(rows: Sequence[Mapping], tolerance: float = 0.10) -> list[dict]:
+    """Flag headline metrics whose latest run regressed beyond ``tolerance``.
+
+    Within each ``(bench, config)`` group the latest row is compared
+    against the *median* of all prior rows, per metric and in the
+    metric's declared bad direction.  Groups with a single run (the
+    fresh-CI case) and metrics with a zero baseline are skipped — there
+    is nothing sound to compare against.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    findings: list[dict] = []
+    for (bench, config_key), group in _grouped(rows).items():
+        if len(group) < 2:
+            continue
+        latest, prior = group[-1], group[:-1]
+        for metric, entry in (latest.get("headline") or {}).items():
+            baseline_values = [
+                r["headline"][metric]["value"]
+                for r in prior
+                if metric in (r.get("headline") or {})
+            ]
+            if not baseline_values:
+                continue
+            baseline = statistics.median(baseline_values)
+            value = entry["value"]
+            better = entry.get("better", "lower")
+            if baseline == 0:
+                continue
+            if better == "lower":
+                regressed = value > baseline * (1.0 + tolerance)
+            else:
+                regressed = value < baseline * (1.0 - tolerance)
+            if regressed:
+                findings.append(
+                    {
+                        "bench": bench,
+                        "config": json.loads(config_key),
+                        "metric": metric,
+                        "value": value,
+                        "baseline": baseline,
+                        "ratio": value / baseline,
+                        "better": better,
+                        "runs": len(group),
+                        "ts": latest.get("ts"),
+                        "git_sha": latest.get("git_sha"),
+                    }
+                )
+    return findings
+
+
+def format_report(
+    rows: Sequence[Mapping],
+    findings: Sequence[Mapping] = (),
+    tolerance: float = 0.10,
+) -> str:
+    """Human-readable trajectory + regression flags for ``bench-report``."""
+    if not rows:
+        return "no bench history yet"
+    flagged = {
+        (f["bench"], json.dumps(f["config"], sort_keys=True), f["metric"])
+        for f in findings
+    }
+    lines: list[str] = []
+    for (bench, config_key), group in sorted(_grouped(rows).items()):
+        config = json.loads(config_key)
+        suffix = f"  {config}" if config else ""
+        lines.append(f"{bench}{suffix}  ({len(group)} run{'s' if len(group) != 1 else ''})")
+        metrics: dict[str, list] = {}
+        for row in group:
+            for metric, entry in (row.get("headline") or {}).items():
+                metrics.setdefault(metric, []).append(entry["value"])
+        for metric, values in sorted(metrics.items()):
+            trajectory = " -> ".join(_fmt_value(v) for v in values[-6:])
+            if len(values) > 6:
+                trajectory = "... " + trajectory
+            mark = ""
+            if (bench, config_key, metric) in flagged:
+                finding = next(
+                    f
+                    for f in findings
+                    if (f["bench"], json.dumps(f["config"], sort_keys=True), f["metric"])
+                    == (bench, config_key, metric)
+                )
+                pct = (finding["ratio"] - 1.0) * 100.0
+                mark = (
+                    f"  ** REGRESSION {pct:+.1f}% vs median "
+                    f"{_fmt_value(finding['baseline'])} (tolerance {tolerance:.0%})"
+                )
+            lines.append(f"  {metric}: {trajectory}{mark}")
+    if findings:
+        lines.append("")
+        lines.append(f"{len(findings)} regression(s) beyond {tolerance:.0%} tolerance")
+    return "\n".join(lines)
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -40,9 +40,16 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..obs.metrics import REGISTRY
 from ..serve.markers import coordinator_only
 from .network import SocialNetwork
 from .schema import Schema
+
+_STORE_ATTACHES = REGISTRY.counter(
+    "repro_store_attaches_total",
+    "Shared-store attaches (per-process: worker attaches land in the "
+    "worker's own registry).",
+)
 
 __all__ = [
     "CompactStore",
@@ -525,6 +532,7 @@ def attach_shared_store(
     decode through the schema, so they never need them).
     """
     shm = shared_memory.SharedMemory(name=handle.shm_name)
+    _STORE_ATTACHES.inc()
     arrays: dict[str, np.ndarray] = {}
     for spec in handle.specs:
         view = np.ndarray(

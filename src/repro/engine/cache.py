@@ -43,9 +43,34 @@ import time
 from collections import OrderedDict
 from typing import Hashable
 
+from ..obs.metrics import REGISTRY
 from ..serve.markers import coordinator_only
 
 __all__ = ["DiskResultCache", "ResultCache", "TieredResultCache"]
+
+_CACHE_HITS = REGISTRY.counter(
+    "repro_cache_hits_total", "Result-cache hits, by tier.", labels=("tier",)
+)
+_CACHE_MISSES = REGISTRY.counter(
+    "repro_cache_misses_total", "Result-cache misses, by tier.", labels=("tier",)
+)
+_CACHE_EVICTIONS = REGISTRY.counter(
+    "repro_cache_evictions_total",
+    "Result-cache entries evicted by a size cap, by tier.",
+    labels=("tier",),
+)
+_CACHE_EXPIRATIONS = REGISTRY.counter(
+    "repro_cache_expirations_total",
+    "Result-cache entries expired by TTL, by tier.",
+    labels=("tier",),
+)
+_MEM_HITS = _CACHE_HITS.labels(tier="memory")
+_MEM_MISSES = _CACHE_MISSES.labels(tier="memory")
+_MEM_EVICTIONS = _CACHE_EVICTIONS.labels(tier="memory")
+_DISK_HITS = _CACHE_HITS.labels(tier="disk")
+_DISK_MISSES = _CACHE_MISSES.labels(tier="disk")
+_DISK_EVICTIONS = _CACHE_EVICTIONS.labels(tier="disk")
+_DISK_EXPIRATIONS = _CACHE_EXPIRATIONS.labels(tier="disk")
 
 #: Fixed protocol so key blobs are stable across interpreter runs.
 _PICKLE_PROTOCOL = 4
@@ -85,8 +110,10 @@ class ResultCache:
         try:
             blob = self._entries[key]
         except KeyError:
+            _MEM_MISSES.inc()
             return None
         self._entries.move_to_end(key)
+        _MEM_HITS.inc()
         return pickle.loads(blob)
 
     def put(self, key: Hashable, value) -> None:
@@ -98,6 +125,7 @@ class ResultCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            _MEM_EVICTIONS.inc()
 
     @coordinator_only
     def purge_fingerprint(self, fingerprint: str) -> int:
@@ -247,6 +275,7 @@ class DiskResultCache:
     def get(self, key: Hashable):
         with self._lock:
             if self._conn is None:
+                _DISK_MISSES.inc()
                 return None
             fingerprint, ckey = self._split(key)
             now = _now()
@@ -257,8 +286,10 @@ class DiskResultCache:
                     (fingerprint, ckey),
                 ).fetchone()
             except sqlite3.Error:
+                _DISK_MISSES.inc()
                 return None
             if row is None:
+                _DISK_MISSES.inc()
                 return None
             if (
                 self.ttl_seconds is not None
@@ -267,13 +298,17 @@ class DiskResultCache:
                 # Stale by TTL: lazily expired on the access that saw it.
                 self._delete(fingerprint, ckey)
                 self.expirations += 1
+                _DISK_EXPIRATIONS.inc()
+                _DISK_MISSES.inc()
                 return None
             try:
                 value = pickle.loads(row[0])
             except Exception:
                 # Undecodable value (truncated write, version skew): drop it.
                 self._delete(fingerprint, ckey)
+                _DISK_MISSES.inc()
                 return None
+            _DISK_HITS.inc()
             if self.max_bytes is not None or self.ttl_seconds is not None:
                 # The recency stamp only matters when something reads it
                 # (LRU eviction / TTL); an unbounded cache keeps its hit
@@ -322,6 +357,7 @@ class DiskResultCache:
                 (now - self.ttl_seconds, *keep),
             )
             self.expirations += max(cursor.rowcount, 0)
+            _DISK_EXPIRATIONS.inc(max(cursor.rowcount, 0))
         if self.max_bytes is None:
             self._conn.commit()
             return
@@ -344,6 +380,7 @@ class DiskResultCache:
                 tuple(victim),
             )
             self.evictions += 1
+            _DISK_EVICTIONS.inc()
         self._conn.commit()
 
     @coordinator_only

@@ -46,6 +46,7 @@ from ..parallel.miner import (
     merge_shard_results,
     warn_if_overprovisioned,
 )
+from ..obs.metrics import REGISTRY
 from ..parallel.planner import plan_shards
 from ..parallel.pool import BusPool, PersistentWorkerPool, default_start_method
 from ..parallel.worker import ShardTask
@@ -55,6 +56,27 @@ from .delta import migrate_fingerprint
 from .request import MineRequest
 
 __all__ = ["EngineStats", "MiningEngine", "PreparedQuery"]
+
+_WARM_STARTS = REGISTRY.counter(
+    "repro_warm_starts_total",
+    "Pooled queries whose bus was checked out pre-seeded with a warm-start floor.",
+)
+_LEASE_EXPORTS = REGISTRY.counter(
+    "repro_lease_exports_total",
+    "Shared-memory store exports (leases opened).",
+)
+_INVALIDATIONS = REGISTRY.counter(
+    "repro_store_invalidations_total",
+    "Store-delta invalidation events (fingerprint changes).",
+)
+_DELTA_ENTRIES = REGISTRY.counter(
+    "repro_delta_entries_total",
+    "Cache entries handled across a store delta, by outcome.",
+    labels=("outcome",),
+)
+_DELTA_MIGRATED = _DELTA_ENTRIES.labels(outcome="migrated")
+_DELTA_PURGED = _DELTA_ENTRIES.labels(outcome="purged")
+_DELTA_FALLBACKS = _DELTA_ENTRIES.labels(outcome="fallback")
 
 
 @dataclass
@@ -145,6 +167,10 @@ class PreparedQuery:
     floor: float | None = None
     #: ``AsyncResult``s of submitted tasks (the blocking sweep path).
     pending: list = field(default_factory=list)
+    #: Named sub-phase timings recorded by the engine, as
+    #: ``{name: (start_perf_counter_s, end_perf_counter_s)}`` — the raw
+    #: material the serve scheduler turns into trace spans.
+    timings: dict = field(default_factory=dict)
 
 
 class MiningEngine:
@@ -375,11 +401,15 @@ class MiningEngine:
         pooled = len(shards) > 1 and workers > 1
         bus = None
         applied_floor = None
+        timings: dict = {}
         if pooled and config.push_topk and config.k is not None:
+            acquire_started = time.perf_counter()
             bus = self._bus_pool().acquire(floor=floor)
+            timings["bus_acquire"] = (acquire_started, time.perf_counter())
             if floor is not None:
                 applied_floor = float(floor)
                 self.stats.warm_starts += 1
+                _WARM_STARTS.inc()
         # Inline shards run on this process's own store; pooled ones
         # carry the lease handle so any fleet — including a shared,
         # store-agnostic hub fleet — can attach the right data.  The
@@ -411,6 +441,7 @@ class MiningEngine:
             tasks=tasks,
             bus=bus,
             floor=applied_floor,
+            timings=timings,
         )
 
     @coordinator_only
@@ -442,11 +473,13 @@ class MiningEngine:
         the scheduler's completion-order collection is equivalent to the
         sweep's submission-order one.
         """
+        merge_started = time.perf_counter()
         shard_results = sorted(shard_results, key=lambda r: r.shard_id)
         entries, stats = merge_shard_results(
             shard_results, prepared.config, prepared.plan.pruned_by_support
         )
         stats.runtime_seconds = time.perf_counter() - prepared.started
+        prepared.timings["merge"] = (merge_started, time.perf_counter())
         params = self._armed_skeleton(prepared.config)._params()
         params.update(
             workers=len(prepared.tasks),
@@ -628,12 +661,16 @@ class MiningEngine:
             return new
         self.fingerprint = new
         self.stats.invalidations += 1
+        _INVALIDATIONS.inc()
         self._skeleton = None
         self._release_lease()
         report = migrate_fingerprint(self, old, delta)
         self.stats.migrated_entries += report.migrated
         self.stats.purged_entries += report.purged
         self.stats.migration_fallbacks += report.fallbacks
+        _DELTA_MIGRATED.inc(report.migrated)
+        _DELTA_PURGED.inc(report.purged)
+        _DELTA_FALLBACKS.inc(report.fallbacks)
         return new
 
     # ------------------------------------------------------------------
@@ -646,6 +683,7 @@ class MiningEngine:
         if self._lease is None or self._lease.closed:
             self._lease = self.store.lease_shared()
             self.stats.exports += 1
+            _LEASE_EXPORTS.inc()
         return self._lease
 
     @coordinator_only

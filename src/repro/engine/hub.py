@@ -59,6 +59,7 @@ from typing import Iterable, Mapping
 from ..core.results import MiningResult
 from ..data.network import SocialNetwork
 from ..data.store import CompactStore, SharedStoreLease
+from ..obs.metrics import REGISTRY
 from ..parallel.miner import check_worker_count
 from ..parallel.pool import BusPool, PersistentWorkerPool, default_start_method
 from ..serve.markers import coordinator_only
@@ -67,6 +68,15 @@ from .engine import MiningEngine
 from .request import MineRequest
 
 __all__ = ["EngineHub"]
+
+_LEASE_EXPORTS = REGISTRY.counter(
+    "repro_lease_exports_total",
+    "Shared-memory store exports (leases opened).",
+)
+_LEASE_EVICTIONS = REGISTRY.counter(
+    "repro_lease_evictions_total",
+    "Resident store leases closed by the hub's memory budget.",
+)
 
 
 class _HubEngine(MiningEngine):
@@ -301,6 +311,7 @@ class EngineHub:
         if lease is None or lease.closed:
             lease = engine.store.lease_shared()
             engine.stats.exports += 1
+            _LEASE_EXPORTS.inc()
             self._leases[engine.name] = lease
         self._leases.move_to_end(engine.name)
         self._evict_over_budget(keep=engine.name)
@@ -338,6 +349,7 @@ class EngineHub:
                 return
             self._leases.pop(victim).close()
             self.lease_evictions += 1
+            _LEASE_EVICTIONS.inc()
 
     @coordinator_only
     def pin_lease(self, name: str) -> None:

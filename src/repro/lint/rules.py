@@ -605,6 +605,93 @@ class SwallowedException(Rule):
 
 
 # --------------------------------------------------------------------------
+# R7
+
+
+class ObsNonblocking(Rule):
+    """Metric/trace emission inside ``async def`` bodies in
+    ``repro/serve/`` must stay on the registry's in-memory API.
+
+    Invariant (PR 9): observability must never make the event loop
+    slower than the thing it observes.  Counters, gauges, histograms
+    and trace spans are plain in-memory mutations (and the render
+    methods build their exposition in memory), so emitting them from a
+    coroutine is free — but *persisting* them is not.  Any call that
+    writes observability state to a file or database (``write_text``,
+    ``dump``, ``flush``, ``record_bench_run``, ``append_history``, …)
+    on a receiver whose name says metrics/registry/tracer/history must
+    route through the coordinator (``_run_coord``) or happen outside
+    the serving process entirely.  Detection is name-based, like every
+    rule here: a persistence-verb call whose dotted receiver contains
+    an observability token.
+    """
+
+    name = "obs-nonblocking"
+
+    _PERSIST_VERBS = frozenset(
+        {
+            "write",
+            "write_text",
+            "write_bytes",
+            "write_json",
+            "dump",
+            "save",
+            "flush",
+            "persist",
+            "append_row",
+        }
+    )
+    _DIRECT_CALLS = frozenset({"record_bench_run", "append_history"})
+    _OBS_TOKENS = ("metric", "registry", "tracer", "trace", "history")
+
+    @classmethod
+    def _obs_receiver(cls, dotted: str) -> bool:
+        parts = dotted.lower().split(".")
+        return any(
+            token in part for part in parts for token in cls._OBS_TOKENS
+        )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for file in project.files_under("repro/serve/"):
+            if file.tree is None:
+                continue
+            for node in ast.walk(file.tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    yield from self._check_body(file, node)
+
+    def _check_body(
+        self, file: SourceFile, func: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in _walk_scope(func.body):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in self._DIRECT_CALLS
+            ):
+                yield self.finding(
+                    file, node,
+                    f"{node.func.id}() persists bench/obs state inside "
+                    f"'async def {func.name}'; observability writes must "
+                    "not run on the event loop — route through _run_coord",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._PERSIST_VERBS
+            ):
+                receiver = _dotted(node.func.value)
+                if receiver is not None and self._obs_receiver(receiver):
+                    yield self.finding(
+                        file, node,
+                        f"blocking .{node.func.attr}() on observability "
+                        f"object '{receiver}' inside 'async def {func.name}'; "
+                        "metric/trace emission on the event loop must stay "
+                        "in-memory — persist via _run_coord or off-process",
+                    )
+
+
+# --------------------------------------------------------------------------
 # built-in meta-rules
 
 
@@ -673,6 +760,7 @@ ALL_RULES: dict[str, Rule] = {
         PickleBoundary(),
         CkeyLayout(),
         SwallowedException(),
+        ObsNonblocking(),
         ParseFailure(),
         PragmaHygiene(),
     )

@@ -24,8 +24,19 @@ import numpy as np
 from ..core.descriptors import GR
 from ..core.metrics import GRMetrics
 from ..core.topk import TopKCollector
+from ..obs.metrics import REGISTRY
 
 __all__ = ["ThresholdBus", "SharedThresholdCollector"]
+
+_FLOOR_UPGRADES = REGISTRY.counter(
+    "repro_bus_floor_upgrades_total",
+    "ThresholdBus slot raises (per-process: publishes made inside mining "
+    "workers land in the worker's own registry).",
+)
+_SEEDS = REGISTRY.counter(
+    "repro_bus_seeds_total",
+    "Warm-start floors seeded into a bus's reserved slot.",
+)
 
 #: Picklable bus address: (shared-memory name, slot count).
 BusHandle = tuple[str, int]
@@ -60,6 +71,7 @@ class ThresholdBus:
         the platforms we target)."""
         if score > self._scores[slot]:
             self._scores[slot] = score
+            _FLOOR_UPGRADES.inc()
 
     def best_floor(self) -> float:
         """The highest published local k-th best (−inf when none yet)."""
@@ -77,6 +89,7 @@ class ThresholdBus:
         fold it into their pruning exactly as they would a sibling's
         published k-th best.
         """
+        _SEEDS.inc()
         self.publish(self.num_slots - 1, float(score))
 
     def reset(self) -> None:

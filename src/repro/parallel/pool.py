@@ -25,11 +25,28 @@ import threading
 from typing import Callable, Sequence
 
 from ..data.store import SharedStoreHandle
+from ..obs.metrics import REGISTRY
 from ..serve.markers import coordinator_only
 from .bus import ThresholdBus
 from .worker import ShardResult, ShardTask, initialize_worker, run_shard
 
 __all__ = ["BusPool", "PersistentWorkerPool", "default_start_method"]
+
+_TASKS_DISPATCHED = REGISTRY.counter(
+    "repro_pool_tasks_dispatched_total",
+    "Shard tasks submitted to the worker fleet.",
+)
+_TASKS_COMPLETED = REGISTRY.counter(
+    "repro_pool_tasks_completed_total",
+    "Shard tasks settled, by outcome.",
+    labels=("outcome",),
+)
+_TASKS_OK = _TASKS_COMPLETED.labels(outcome="ok")
+_TASKS_ERROR = _TASKS_COMPLETED.labels(outcome="error")
+_TASKS_INFLIGHT = REGISTRY.gauge(
+    "repro_pool_tasks_inflight",
+    "Shard tasks submitted but not yet settled.",
+)
 
 
 def default_start_method() -> str:
@@ -121,14 +138,20 @@ class PersistentWorkerPool:
             raise RuntimeError("worker pool is closed")
         with self._inflight_lock:
             self._inflight += 1
+        _TASKS_DISPATCHED.inc()
+        _TASKS_INFLIGHT.inc()
 
         def _done(result):
             self._settle()
+            _TASKS_INFLIGHT.dec()
+            _TASKS_OK.inc()
             if callback is not None:
                 callback(result)
 
         def _err(exc):
             self._settle()
+            _TASKS_INFLIGHT.dec()
+            _TASKS_ERROR.inc()
             if error_callback is not None:
                 error_callback(exc)
 

@@ -10,7 +10,27 @@ Endpoints
 ``GET  /healthz``
     ``{"status": "ok", "networks": [...]}``.
 ``GET  /stats``
-    Scheduler counters + hub aggregate stats.
+    Scheduler counters + the hub-stats snapshot the coordinator
+    publishes on every job release (never a live coordinator
+    round-trip — a stats poll cannot queue behind mining work; the
+    ``hub`` object carries its staleness as ``age_s``).
+``GET  /metrics``
+    The process-wide :data:`repro.obs.REGISTRY` in Prometheus text
+    exposition format (0.0.4); ``?format=json`` for the structured
+    equivalent.
+``GET  /jobs/{id}/trace``
+    The job's recorded spans (plan → bus acquire → per-shard →
+    merge → finalize) as structured JSON; ``?format=chrome`` renders
+    Chrome ``trace_event`` JSON loadable in ``about:tracing`` /
+    Perfetto.  404 once the tracer's ring buffer evicted the job (or
+    when the scheduler runs with ``observe=False``).
+``GET  /jobs/{id}/events``
+    Server-sent events progress stream: ``progress`` events (shards
+    done/total, current bus floor, running k-th-best score, partial
+    top-k) as the job advances, ``heartbeat`` events every
+    :attr:`ServeHTTP.sse_heartbeat_s` seconds of silence, and a
+    terminal ``done`` event.  Disconnecting mid-stream frees the
+    subscription without affecting the job.
 ``POST /networks/{name}/mine``
     Body: the :class:`~repro.engine.MineRequest` fields (``k``,
     ``min_support``, ``min_nhp``, ``rank_by``, ``push_topk``,
@@ -40,8 +60,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import urllib.parse
 
 from ..engine.request import MineRequest
+from ..obs.metrics import REGISTRY
 from .job import JobCancelled, ServeJob
 from .scheduler import Scheduler
 
@@ -114,6 +136,11 @@ class ServeHTTP:
         self.scheduler = scheduler
         self.host = host
         self.port = port
+        #: Seconds of event silence after which an SSE stream emits a
+        #: ``heartbeat`` — keeps idle streams alive through proxies and
+        #: lets the server notice a dead peer (the failed write tears
+        #: the subscription down).
+        self.sse_heartbeat_s = 15.0
         self._server: asyncio.AbstractServer | None = None
 
     # ------------------------------------------------------------------
@@ -145,14 +172,28 @@ class ServeHTTP:
     async def _handle_client(self, reader, writer) -> None:
         try:
             try:
-                method, path, body = await self._read_request(reader)
+                method, path, query, body = await self._read_request(reader)
             except _BadRequest as exc:
                 await self._respond(writer, 400, {"error": str(exc)})
                 return
             except (asyncio.IncompleteReadError, ConnectionError):
                 return
+            segments = [s for s in path.split("/") if s]
+            # Streaming / non-JSON endpoints bypass the (status, payload)
+            # routing contract and own the writer themselves.
+            if method == "GET" and segments == ["metrics"]:
+                await self._metrics(writer, query)
+                return
+            if (
+                method == "GET"
+                and len(segments) == 3
+                and segments[0] == "jobs"
+                and segments[2] == "events"
+            ):
+                await self._job_events(writer, segments[1])
+                return
             try:
-                status, payload = await self._route(method, path, body)
+                status, payload = await self._route(method, path, query, body)
             except _BadRequest as exc:
                 status, payload = 400, {"error": str(exc)}
             except KeyError as exc:
@@ -170,7 +211,7 @@ class ServeHTTP:
             except Exception:
                 pass
 
-    async def _read_request(self, reader) -> tuple[str, str, dict | None]:
+    async def _read_request(self, reader) -> tuple[str, str, dict, dict | None]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise _BadRequest("empty request")
@@ -202,16 +243,22 @@ class ServeHTTP:
                 raise _BadRequest(f"invalid JSON body: {exc}") from None
             if not isinstance(body, dict):
                 raise _BadRequest("JSON body must be an object")
-        path = target.split("?", 1)[0]
-        return method.upper(), path, body
+        path, _, raw_query = target.partition("?")
+        query = urllib.parse.parse_qs(raw_query)
+        return method.upper(), path, query, body
 
     async def _respond(self, writer, status: int, payload: dict) -> None:
+        data = json.dumps(payload, default=str).encode()
+        await self._respond_bytes(writer, status, data, "application/json")
+
+    async def _respond_bytes(
+        self, writer, status: int, data: bytes, content_type: str
+    ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 500: "Internal Server Error"}
-        data = json.dumps(payload, default=str).encode()
         head = (
             f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode("latin-1")
@@ -221,20 +268,88 @@ class ServeHTTP:
         except (ConnectionError, asyncio.CancelledError):
             pass
 
+    async def _metrics(self, writer, query: dict) -> None:
+        # render_* build the exposition entirely in memory — no file or
+        # sqlite I/O ever happens on the event loop here.
+        fmt = (query.get("format") or ["prometheus"])[0]
+        if fmt == "json":
+            await self._respond(writer, 200, REGISTRY.render_json())
+            return
+        text = REGISTRY.render_prometheus()
+        await self._respond_bytes(
+            writer, 200, text.encode(), "text/plain; version=0.0.4; charset=utf-8"
+        )
+
     # ------------------------------------------------------------------
-    async def _route(self, method: str, path: str, body: dict | None):
+    # SSE progress streaming
+    # ------------------------------------------------------------------
+    async def _send_event(self, writer, event: str, payload: dict) -> None:
+        data = json.dumps(payload, default=str)
+        writer.write(f"event: {event}\ndata: {data}\n\n".encode())
+        await writer.drain()
+
+    async def _job_events(self, writer, job_id: str) -> None:
+        try:
+            job = self.scheduler.job(job_id)
+        except KeyError as exc:
+            await self._respond(writer, 404, {"error": str(exc.args[0])})
+            return
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-cache\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        queue: asyncio.Queue = asyncio.Queue()
+        job._subscribers.append(queue)
+        try:
+            writer.write(head)
+            # Immediate snapshot: a subscriber learns the current state
+            # now, not a heartbeat (or first shard) later.
+            snapshot = self.scheduler.progress_payload(job)
+            await self._send_event(writer, "progress", snapshot)
+            if job.done:
+                await self._send_event(writer, "done", snapshot)
+                return
+            while True:
+                try:
+                    event, payload = await asyncio.wait_for(
+                        queue.get(), timeout=self.sse_heartbeat_s
+                    )
+                except asyncio.TimeoutError:
+                    await self._send_event(
+                        writer,
+                        "heartbeat",
+                        {"job_id": job.id, "state": job.state.value},
+                    )
+                    continue
+                await self._send_event(writer, event, payload)
+                if event == "done":
+                    return
+        # repro-lint: disable=swallowed-exception -- client disconnected mid-stream: dropping the subscription (in the finally) is the entire required response, and the job itself is unaffected
+        except ConnectionError:
+            pass
+        finally:
+            if queue in job._subscribers:
+                job._subscribers.remove(queue)
+
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, path: str, query: dict, body: dict | None):
         segments = [s for s in path.split("/") if s]
         if segments == ["healthz"] and method == "GET":
             return 200, {"status": "ok", "networks": self.scheduler.hub.names()}
         if segments == ["stats"] and method == "GET":
-            # Hub stats walk coordinator-mutated structures; read them
-            # on the coordinator to keep the single-writer discipline.
-            hub_stats = await self.scheduler._run_coord(
-                self.scheduler.hub.aggregate_stats
-            )
-            return 200, {"scheduler": self.scheduler.stats(), "hub": hub_stats}
+            # Served from the coordinator-published snapshot: a stats
+            # poll never waits behind mining work on the coordinator
+            # (the snapshot's own staleness rides along as "age_s").
+            return 200, {
+                "scheduler": self.scheduler.stats(),
+                "hub": self.scheduler.hub_stats(),
+            }
         if len(segments) == 2 and segments[0] == "jobs":
             return await self._route_job(method, segments[1])
+        if len(segments) == 3 and segments[0] == "jobs" and segments[2] == "trace":
+            return self._job_trace(method, segments[1], query)
         if len(segments) == 3 and segments[0] == "networks":
             name, action = segments[1], segments[2]
             if name not in self.scheduler.hub:
@@ -262,6 +377,22 @@ class ServeHTTP:
             await asyncio.sleep(0)
             return 200, await self._job_payload(job)
         return 405, {"error": "jobs support GET and DELETE"}
+
+    def _job_trace(self, method: str, job_id: str, query: dict):
+        if method != "GET":
+            return 405, {"error": "trace supports GET"}
+        self.scheduler.job(job_id)  # unknown id -> KeyError -> 404
+        fmt = (query.get("format") or ["structured"])[0]
+        tracer = self.scheduler.tracer
+        payload = (
+            tracer.chrome_trace(job_id) if fmt == "chrome" else tracer.trace(job_id)
+        )
+        if payload is None:
+            raise KeyError(
+                f"no trace for {job_id!r} (tracing disabled, or the job "
+                f"was evicted from the trace ring)"
+            )
+        return 200, payload
 
     async def _job_payload(self, job: ServeJob) -> dict:
         payload = {"job": job.describe()}

@@ -143,6 +143,21 @@ class ServeJob:
         #: Set when a cancelled leader's execution moved to a promoted
         #: follower — in-flight shard completions follow this pointer.
         self._moved_to: "ServeJob | None" = None
+        #: SSE progress subscriptions: one ``asyncio.Queue`` per open
+        #: ``GET /jobs/{id}/events`` stream (event-loop thread only).
+        self._subscribers: list = []
+        #: Running partial top-k ``(score, gr_str)`` merged from arrived
+        #: shard results, capped at the request's k (best-effort preview;
+        #: the exact merge still happens in ``engine.finish``).
+        self._partial_topk: list = []
+        #: Highest bus floor ever reported for this job — progress events
+        #: must never publish a looser floor than an earlier one.
+        self._floor_seen: float | None = None
+        #: Dispatch timestamps (``perf_counter``) of in-flight shards,
+        #: keyed by shard id — closed into trace spans on completion.
+        self._shard_started: dict = {}
+        #: Start timestamp of the finalize phase, for its trace span.
+        self._finalize_started: float | None = None
 
     @property
     def effective_priority(self) -> int:

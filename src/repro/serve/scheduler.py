@@ -85,10 +85,46 @@ from typing import Iterable, Mapping
 from ..core.results import MiningResult
 from ..engine.hub import EngineHub
 from ..engine.request import MineRequest, warmstart_dominates
+from ..obs.metrics import REGISTRY
+from ..obs.trace import NullTracer, Tracer
 from .job import JobCancelled, JobState, ServeJob
 from .markers import coordinator_only
 
 __all__ = ["Scheduler"]
+
+_M_SUBMITTED = REGISTRY.counter(
+    "repro_scheduler_jobs_submitted_total", "Jobs admitted via submit()."
+)
+_M_RESOLVED = REGISTRY.counter(
+    "repro_scheduler_jobs_resolved_total",
+    "Jobs resolved, by terminal state.",
+    labels=("state",),
+)
+_M_DEDUPED = REGISTRY.counter(
+    "repro_scheduler_jobs_deduped_total",
+    "Jobs attached to an identical in-flight execution (single-flight).",
+)
+_M_WARM_STARTED = REGISTRY.counter(
+    "repro_scheduler_jobs_warm_started_total",
+    "Jobs whose bus was checked out with a warm-start floor.",
+)
+_M_CACHE_HIT_JOBS = REGISTRY.counter(
+    "repro_scheduler_cache_hit_jobs_total",
+    "Jobs served straight from the result cache.",
+)
+_M_SHARDS_DISPATCHED = REGISTRY.counter(
+    "repro_scheduler_shards_dispatched_total",
+    "Shard tasks dispatched by the slot scheduler.",
+)
+_M_SHARDS_COMPLETED = REGISTRY.counter(
+    "repro_scheduler_shards_completed_total",
+    "Shard completions observed by the slot scheduler.",
+)
+_M_JOB_LATENCY = REGISTRY.histogram(
+    "repro_job_latency_seconds",
+    "Submit-to-resolve job latency, by priority class.",
+    labels=("priority",),
+)
 
 
 class Scheduler:
@@ -123,6 +159,13 @@ class Scheduler:
         :meth:`submit_sweep` / :meth:`sweep` accept a per-batch
         override in either direction, and an explicit ``floor_from=``
         on :meth:`submit` is always honored.
+    observe:
+        Record per-job trace spans (plan → bus acquire → per-shard
+        dispatch/complete → merge → finalize) into :attr:`tracer`, a
+        bounded :class:`repro.obs.Tracer` ring buffer the HTTP facade
+        exports via ``GET /jobs/{id}/trace``.  ``False`` swaps in a
+        :class:`~repro.obs.NullTracer` (metrics are governed separately
+        by ``repro.obs.REGISTRY.set_enabled``).
 
     Use as an async context manager (or ``await start()`` /
     ``await close()``)::
@@ -141,6 +184,7 @@ class Scheduler:
         prewarm: bool = True,
         dedup: bool = True,
         warm_start: bool = True,
+        observe: bool = True,
     ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be positive (or None)")
@@ -148,6 +192,14 @@ class Scheduler:
         self.prewarm = prewarm
         self.dedup = dedup
         self.warm_start = warm_start
+        self.observe = observe
+        self.tracer = Tracer() if observe else NullTracer()
+        #: Snapshot age past which :meth:`hub_stats` kicks a background
+        #: refresh (the current snapshot is still served immediately).
+        self.stats_max_age_s = 1.0
+        self._hub_stats: dict | None = None
+        self._hub_stats_at: float = 0.0
+        self._hub_stats_refreshing = False
         self.slots = max_inflight if max_inflight is not None else hub.workers
         self._loop: asyncio.AbstractEventLoop | None = None
         self._coordinator = ThreadPoolExecutor(
@@ -211,6 +263,9 @@ class Scheduler:
         )
         if self.prewarm:
             self._fleet = await self._run_coord(self.hub._ensure_pool)
+        # Seed the stats snapshot so GET /stats never has to wait for a
+        # first job to publish one (see hub_stats()).
+        self._store_hub_stats(await self._run_coord(self.hub.aggregate_stats))
         return self
 
     async def close(self) -> None:
@@ -301,6 +356,8 @@ class Scheduler:
         job.seq = seq
         self._jobs[job.id] = job
         self._counters["submitted"] += 1
+        _M_SUBMITTED.inc()
+        self.tracer.begin(job.id, network=network, priority=priority)
         self._active_by_network[network] = (
             self._active_by_network.get(network, 0) + 1
         )
@@ -534,6 +591,11 @@ class Scheduler:
             self._counters["delta_purged_entries"] += (
                 engine.stats.purged_entries - purged_before
             )
+            # The delta changed the fingerprint and lease population the
+            # published stats snapshot describes — refresh it in place.
+            self._store_hub_stats(
+                await self._run_coord(self.hub.aggregate_stats)
+            )
             return fingerprint
         finally:
             self._paused.pop(network, None)
@@ -627,17 +689,23 @@ class Scheduler:
         # coordinator even handed them over.
         job._executing = True
         try:
+            plan_started = time.perf_counter()
             prepared = await self._run_coord(self._prepare_sync, engine, job, floor)
+            self.tracer.span(job.id, "plan", plan_started, time.perf_counter())
+            for name, (span_start, span_end) in prepared.timings.items():
+                self.tracer.span(job.id, name, span_start, span_end)
             job._prepared = prepared
             job.warm_floor = prepared.floor
             if prepared.floor is not None:
                 self._counters["warm_started"] += 1
+                _M_WARM_STARTED.inc()
             if job.cancel_requested:
                 await self._finalize(job)
                 return
             if prepared.mode == "cached":
                 job.cached = True
                 self._counters["cache_hit_jobs"] += 1
+                _M_CACHE_HIT_JOBS.inc()
                 await self._run_coord(self._release_sync, engine, job)
                 self._resolve(job, JobState.DONE, result=prepared.result)
                 return
@@ -649,8 +717,12 @@ class Scheduler:
                 job.state = JobState.RUNNING
                 job.shards_total = max(len(prepared.tasks), 1)
                 try:
+                    exec_started = time.perf_counter()
                     result = await self._run_coord(
                         engine.execute_prepared, prepared
+                    )
+                    self.tracer.span(
+                        job.id, "execute", exec_started, time.perf_counter()
                     )
                 except BaseException as exc:
                     job._error = exc
@@ -679,6 +751,7 @@ class Scheduler:
         job.shards_total = len(prepared.tasks)
         job.state = JobState.READY
         self._enter_ready(job)
+        self._publish_progress(job)
         self._fill_slots()
 
     @coordinator_only
@@ -697,6 +770,7 @@ class Scheduler:
         job.deduped = True
         leader._followers.append(job)
         self._counters["deduped"] += 1
+        _M_DEDUPED.inc()
 
     def _floor_for(self, job: ServeJob) -> float | None:
         """The warm-start floor this job admits with, or ``None``.
@@ -794,6 +868,8 @@ class Scheduler:
             job._inflight += 1
             self._inflight_slots += 1
             self._counters["shards_dispatched"] += 1
+            _M_SHARDS_DISPATCHED.inc()
+            job._shard_started[task.shard_id] = time.perf_counter()
             self._shards_by_network[job.network] = (
                 self._shards_by_network.get(job.network, 0) + 1
             )
@@ -821,6 +897,7 @@ class Scheduler:
             job = job._moved_to
         self._inflight_slots -= 1
         self._counters["shards_completed"] += 1
+        _M_SHARDS_COMPLETED.inc()
         job._inflight -= 1
         job.shards_done += 1
         if exc is not None:
@@ -828,6 +905,17 @@ class Scheduler:
                 job._error = exc
         elif result is not None:
             job._shard_results.append(result)
+            shard_started = job._shard_started.pop(result.shard_id, None)
+            if shard_started is not None:
+                self.tracer.span(
+                    job.id,
+                    f"shard-{result.shard_id}",
+                    shard_started,
+                    time.perf_counter(),
+                    tid=result.shard_id + 1,
+                    entries=len(result.entries),
+                )
+            self._merge_partial(job, result)
         if (job._error is not None or job.cancel_requested) and job._queue:
             # Stop submitting: the remaining shards are dead weight.
             job._queue.clear()
@@ -835,7 +923,65 @@ class Scheduler:
                 self._ready.remove(job)
         if job._inflight == 0 and not job._queue and not job.done:
             self._loop.create_task(self._finalize(job))
+        self._publish_progress(job)
         self._fill_slots()
+
+    @staticmethod
+    def _merge_partial(job: ServeJob, result) -> None:
+        """Fold an arrived shard's entries into the job's partial top-k.
+
+        A best-effort preview for progress streaming only — the exact,
+        tie-broken merge still happens in ``engine.finish``.
+        """
+        k = job.request.k if job.request.k is not None else 10
+        merged = job._partial_topk + [
+            (float(entry.score), str(entry.gr)) for entry in result.entries[:k]
+        ]
+        merged.sort(key=lambda pair: pair[0], reverse=True)
+        job._partial_topk = merged[:k]
+
+    # ------------------------------------------------------------------
+    # Progress streaming (event-loop thread only)
+    # ------------------------------------------------------------------
+    def progress_payload(self, job: ServeJob) -> dict:
+        """JSON-ready progress snapshot for SSE streaming.
+
+        The reported ``floor`` is monotonic per job: the bus read is a
+        lock-free shared-memory max (safe off the coordinator), but the
+        bus is recycled at finalize — without the high-water mark a
+        terminal event could report a looser floor than an earlier one.
+        """
+        floor = None
+        prepared = job._prepared
+        if prepared is not None and prepared.bus is not None:
+            raw = prepared.bus.best_floor()
+            if raw != float("-inf"):
+                floor = raw
+        elif job.warm_floor is not None:
+            floor = job.warm_floor
+        if floor is not None and (
+            job._floor_seen is None or floor > job._floor_seen
+        ):
+            job._floor_seen = floor
+        k = job.request.k
+        topk = list(job._partial_topk)
+        kth_best = topk[k - 1][0] if (k is not None and len(topk) >= k) else None
+        return {
+            "job_id": job.id,
+            "state": job.state.value,
+            "shards_total": job.shards_total,
+            "shards_done": job.shards_done,
+            "floor": job._floor_seen,
+            "kth_best": kth_best,
+            "top_k": [{"score": score, "gr": gr} for score, gr in topk],
+        }
+
+    def _publish_progress(self, job: ServeJob, event: str = "progress") -> None:
+        if not job._subscribers:
+            return
+        payload = self.progress_payload(job)
+        for queue in list(job._subscribers):
+            queue.put_nowait((event, payload))
 
     # ------------------------------------------------------------------
     # Completion / cancellation (event-loop thread only)
@@ -845,6 +991,7 @@ class Scheduler:
         if job._finalized:
             return
         job._finalized = True
+        job._finalize_started = time.perf_counter()
         engine = self.hub.engine(job.network)
         try:
             if job.cancel_requested or job._error is not None:
@@ -876,6 +1023,13 @@ class Scheduler:
         try:
             return engine.finish(job._prepared, job._shard_results)
         finally:
+            merge = (
+                job._prepared.timings.get("merge")
+                if job._prepared is not None
+                else None
+            )
+            if merge is not None:
+                self.tracer.span(job.id, "merge", merge[0], merge[1])
             self._release_sync(engine, job)
 
     @coordinator_only
@@ -887,6 +1041,14 @@ class Scheduler:
         if job._pinned:
             job._pinned = False
             self.hub.unpin_lease(job.network)
+        # Publish a fresh hub snapshot while we're already on the
+        # coordinator — the GET /stats read path then serves it without
+        # its own round-trip (see hub_stats()).
+        stats = self.hub.aggregate_stats()
+        try:
+            self._loop.call_soon_threadsafe(self._store_hub_stats, stats)
+        except RuntimeError:
+            pass  # loop already closed under a forced teardown
 
     def _resolve(
         self,
@@ -900,6 +1062,15 @@ class Scheduler:
         job.state = state
         job.finished_at = self._loop.time()
         job._finalized = True
+        _M_RESOLVED.labels(state=state.value).inc()
+        _M_JOB_LATENCY.labels(priority=str(job.priority)).observe(
+            job.finished_at - job.submitted_at
+        )
+        if job._finalize_started is not None:
+            self.tracer.span(
+                job.id, "finalize", job._finalize_started, time.perf_counter()
+            )
+            job._finalize_started = None
         if job._deadline_handle is not None:
             # Timer-leak fix: a resolved job must not leave its deadline
             # timer live until it fires (only to find the job done).
@@ -963,6 +1134,7 @@ class Scheduler:
         else:
             self._active_by_network.pop(job.network, None)
         self._check_drain(job.network)
+        self._publish_progress(job, event="done")
         self._retire(job)
 
     def _retire(self, job: ServeJob) -> None:
@@ -1066,6 +1238,8 @@ class Scheduler:
         heir._queue, leader._queue = leader._queue, deque()
         heir._inflight, leader._inflight = leader._inflight, 0
         heir._shard_results, leader._shard_results = leader._shard_results, []
+        heir._partial_topk, leader._partial_topk = leader._partial_topk, []
+        heir._shard_started, leader._shard_started = leader._shard_started, {}
         heir.shards_total = leader.shards_total
         heir.shards_done = leader.shards_done
         heir._pinned, leader._pinned = leader._pinned, False
@@ -1091,6 +1265,48 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _store_hub_stats(self, stats: dict) -> None:
+        # Event-loop thread only (coordinator publishers marshal here
+        # via call_soon_threadsafe).
+        self._hub_stats = stats
+        self._hub_stats_at = self._loop.time()
+
+    def hub_stats(self) -> dict:
+        """The published hub-stats snapshot — never blocks on the coordinator.
+
+        The coordinator republishes after every job release and every
+        append-edge delta, so under traffic the snapshot is fresh by
+        construction.  On an idle scheduler a read older than
+        :attr:`stats_max_age_s` kicks one background refresh but still
+        returns the current snapshot immediately — a ``GET /stats`` poll
+        can never queue behind mining work on the coordinator.  The
+        returned dict carries its own staleness as ``age_s``.
+        """
+        age = (
+            self._loop.time() - self._hub_stats_at
+            if self._hub_stats is not None
+            else None
+        )
+        if (
+            not self._closed
+            and not self._hub_stats_refreshing
+            and (age is None or age > self.stats_max_age_s)
+        ):
+            self._hub_stats_refreshing = True
+            self._loop.create_task(self._refresh_hub_stats())
+        payload = dict(self._hub_stats or {})
+        payload["age_s"] = age
+        return payload
+
+    async def _refresh_hub_stats(self) -> None:
+        try:
+            stats = await self._run_coord(self.hub.aggregate_stats)
+        except RuntimeError:
+            return  # coordinator already shut down mid-close
+        finally:
+            self._hub_stats_refreshing = False
+        self._store_hub_stats(stats)
+
     def stats(self) -> dict:
         """Counters + live state (JSON-ready)."""
         live = [j for j in self._jobs.values() if not j.done]

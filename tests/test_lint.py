@@ -388,6 +388,81 @@ class TestSwallowedException:
 
 
 # ---------------------------------------------------------------------------
+# R7: obs-nonblocking
+
+
+class TestObsNonblocking:
+    def test_fires_on_persistence_verb_on_obs_receiver(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/x.py",
+            "async def handler(self, path):\n"
+            "    self.tracer.dump(path)\n",
+        )
+        assert rules_fired(report) == {"obs-nonblocking"}
+
+    def test_fires_on_registry_flush_and_history_write(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/x.py",
+            "async def handler(metrics_registry, history_file):\n"
+            "    metrics_registry.flush()\n"
+            "    history_file.write_text('row')\n",
+        )
+        assert rules_fired(report) == {"obs-nonblocking"}
+        assert len(report.findings) == 2
+
+    def test_fires_on_direct_record_bench_run(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/x.py",
+            "from repro.bench.history import record_bench_run\n"
+            "async def handler(payload):\n"
+            "    record_bench_run('serve', payload, 'out', headline={})\n",
+        )
+        assert rules_fired(report) == {"obs-nonblocking"}
+
+    def test_quiet_on_in_memory_emission(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/x.py",
+            "async def handler(REGISTRY, tracer, counter):\n"
+            "    counter.inc()\n"
+            "    tracer.span('job-1', 'plan', 0.0, 1.0)\n"
+            "    return REGISTRY.render_prometheus()\n",
+        )
+        assert report.ok
+
+    def test_quiet_on_non_obs_receiver(self, tmp_path):
+        # The SSE path writes to the *socket* from a coroutine — that is
+        # the endpoint's job, not observability persistence.
+        report = lint_snippet(
+            tmp_path,
+            "serve/x.py",
+            "async def handler(writer, data):\n"
+            "    writer.write(data)\n"
+            "    await writer.drain()\n",
+        )
+        assert report.ok
+
+    def test_quiet_in_sync_def_and_outside_serve(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/x.py",
+            "def snapshot(self, path):\n"
+            "    self.tracer.dump(path)\n",
+        )
+        assert report.ok
+        report = lint_snippet(
+            tmp_path,
+            "bench/x.py",
+            "async def handler(self, path):\n"
+            "    self.tracer.dump(path)\n",
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
 # pragma machinery
 
 

@@ -1,0 +1,380 @@
+"""Unit tests for ``repro.obs`` (metrics + traces) and ``repro.bench.history``."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.bench.history import (
+    check_regressions,
+    format_report,
+    load_history,
+    record_bench_run,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.trace import NullTracer, Tracer
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_math(self):
+        reg = MetricsRegistry()
+        c = reg.counter("jobs_total", "jobs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_math(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("inflight", "inflight shards")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_s", "latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+        cumulative = h.cumulative()
+        assert cumulative == [(0.1, 1), (1.0, 3), (10.0, 4), (float("inf"), 5)]
+        # cumulative counts must be monotonic and end at the total count
+        counts = [count for _, count in cumulative]
+        assert counts == sorted(counts)
+        assert counts[-1] == h.count
+
+    def test_histogram_boundary_lands_in_le_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "h", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1.0" is inclusive
+        assert h.cumulative()[0] == (1.0, 1)
+
+    def test_labels_children_are_distinct_and_stable(self):
+        reg = MetricsRegistry()
+        family = reg.counter("resolved_total", "resolved", labels=("state",))
+        family.labels(state="done").inc()
+        family.labels(state="done").inc()
+        family.labels(state="failed").inc()
+        assert family.labels(state="done").value == 2
+        assert family.labels(state="failed").value == 1
+
+    def test_registration_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("n", "help")
+        b = reg.counter("n", "help")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("n", "help")
+        with pytest.raises(ValueError):
+            reg.gauge("n", "help")
+
+    def test_label_schema_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("n", "help", labels=("state",))
+        with pytest.raises(ValueError):
+            reg.counter("n", "help", labels=("priority",))
+
+    def test_set_enabled_gates_all_mutation(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c", "c")
+        g = reg.gauge("g", "g")
+        h = reg.histogram("h", "h")
+        reg.set_enabled(False)
+        c.inc()
+        g.set(9)
+        h.observe(1.0)
+        assert c.value == 0 and g.value == 0 and h.count == 0
+        reg.set_enabled(True)
+        c.inc()
+        assert c.value == 1
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c", "c")
+        h = reg.histogram("h", "h")
+        c.inc(7)
+        h.observe(0.2)
+        reg.reset()
+        assert c.value == 0
+        assert h.count == 0 and h.sum == 0
+        assert reg.counter("c", "c") is c  # same family, not re-created
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+# Prometheus text format, version 0.0.4: every non-comment line is
+#   name{label="value",...} value
+_SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r' (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$'
+)
+
+
+class TestPrometheusExposition:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("repro_jobs_total", "Jobs submitted").inc(3)
+        reg.gauge("repro_inflight", "Inflight shards").set(2)
+        family = reg.counter("repro_resolved_total", "Resolved", labels=("state",))
+        family.labels(state="done").inc(5)
+        h = reg.histogram("repro_latency_seconds", "Latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        return reg
+
+    def test_every_line_parses(self):
+        text = self._registry().render_prometheus()
+        assert text.endswith("\n")
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert _SAMPLE_LINE.match(line), f"invalid exposition line: {line!r}"
+
+    def test_help_and_type_precede_samples(self):
+        text = self._registry().render_prometheus()
+        lines = text.strip().splitlines()
+        seen: set[str] = set()
+        for line in lines:
+            if line.startswith("#"):
+                name = line.split()[2]
+                seen.add(name)
+            else:
+                name = line.split("{")[0].split(" ")[0]
+                base = re.sub(r"_(bucket|sum|count)$", "", name)
+                assert name in seen or base in seen, f"sample before HELP/TYPE: {line!r}"
+        assert "# TYPE repro_latency_seconds histogram" in lines
+        assert "# TYPE repro_jobs_total counter" in lines
+        assert "# TYPE repro_inflight gauge" in lines
+
+    def test_histogram_series_complete(self):
+        text = self._registry().render_prometheus()
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="1"} 2' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_seconds_count 3" in text
+        assert re.search(r"repro_latency_seconds_sum 5\.5\d*", text)
+
+    def test_labelled_sample_rendered(self):
+        text = self._registry().render_prometheus()
+        assert 'repro_resolved_total{state="done"} 5' in text
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "c", labels=("net",)).labels(net='a"b\\c\nd').inc()
+        text = reg.render_prometheus()
+        assert 'c{net="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_json_render_round_trips(self):
+        payload = self._registry().render_json()
+        parsed = json.loads(json.dumps(payload))
+        names = {m["name"] for m in parsed["metrics"]}
+        assert "repro_latency_seconds" in names
+        hist = next(m for m in parsed["metrics"] if m["name"] == "repro_latency_seconds")
+        assert hist["type"] == "histogram"
+        assert hist["samples"][0]["buckets"]["+Inf"] == 3
+        assert hist["samples"][0]["count"] == 3
+
+
+# ---------------------------------------------------------------------------
+# tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_trace_relative_times(self):
+        tracer = Tracer()
+        tracer.begin("j1", network="a", priority=1)
+        t0 = tracer._jobs["j1"]["t0"]
+        tracer.span("j1", "plan", t0 + 0.1, t0 + 0.3, shards=2)
+        tracer.span("j1", "shard-0", t0 + 0.3, t0 + 0.9, tid=1)
+        trace = tracer.trace("j1")
+        assert trace["job_id"] == "j1"
+        assert trace["meta"] == {"network": "a", "priority": 1}
+        plan, shard = trace["spans"]
+        assert plan["name"] == "plan"
+        assert plan["start_s"] == pytest.approx(0.1)
+        assert plan["duration_s"] == pytest.approx(0.2)
+        assert plan["args"] == {"shards": 2}
+        assert shard["tid"] == 1
+
+    def test_chrome_trace_is_valid_trace_event_json(self):
+        tracer = Tracer()
+        tracer.begin("j1")
+        t0 = tracer._jobs["j1"]["t0"]
+        tracer.span("j1", "execute", t0, t0 + 0.5, tid=0, entries=7)
+        payload = tracer.chrome_trace("j1")
+        parsed = json.loads(json.dumps(payload))  # must survive a JSON round trip
+        events = parsed["traceEvents"]
+        assert events[0]["ph"] == "M"  # metadata record first
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 1
+        for event in complete:
+            # the keys chrome://tracing requires of a complete event
+            assert {"name", "ph", "pid", "tid", "ts", "dur"} <= set(event)
+            assert event["dur"] >= 0
+        assert complete[0]["dur"] == pytest.approx(5e5, rel=1e-3)  # µs
+
+    def test_unknown_job_returns_none(self):
+        tracer = Tracer()
+        assert tracer.trace("nope") is None
+        assert tracer.chrome_trace("nope") is None
+
+    def test_ring_evicts_oldest_job(self):
+        tracer = Tracer(max_jobs=2)
+        for jid in ("a", "b", "c"):
+            tracer.begin(jid)
+        assert tracer.jobs() == ["b", "c"]
+        assert tracer.trace("a") is None
+
+    def test_rebegin_moves_job_to_newest(self):
+        tracer = Tracer(max_jobs=2)
+        tracer.begin("a")
+        tracer.begin("b")
+        tracer.begin("a")  # warm-start resubmit: "a" becomes the newest again
+        tracer.begin("c")
+        assert tracer.jobs() == ["a", "c"]
+
+    def test_span_cap(self):
+        tracer = Tracer(max_spans_per_job=3)
+        tracer.begin("j")
+        for i in range(10):
+            tracer.span("j", f"s{i}", 0.0, 1.0)
+        assert len(tracer.trace("j")["spans"]) == 3
+
+    def test_span_for_unknown_job_is_dropped(self):
+        tracer = Tracer()
+        tracer.span("ghost", "s", 0.0, 1.0)  # must not raise
+        assert tracer.trace("ghost") is None
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        tracer.begin("j", network="a")
+        tracer.span("j", "plan", 0.0, 1.0)
+        assert tracer.jobs() == []
+        assert tracer.trace("j") is None
+        assert tracer.chrome_trace("j") is None
+
+
+# ---------------------------------------------------------------------------
+# bench history
+# ---------------------------------------------------------------------------
+
+
+def _row(bench="serve", value=1.0, better="lower", metric="p95_s", config=None):
+    return {
+        "ts": "2026-08-07T00:00:00+00:00",
+        "git_sha": "abc",
+        "bench": bench,
+        "config": config or {"quick": True},
+        "headline": {metric: {"value": value, "better": better}},
+    }
+
+
+class TestBenchHistory:
+    def test_record_writes_snapshot_and_appends(self, tmp_path):
+        path = record_bench_run(
+            "demo",
+            {"summary": {"x": 1}},
+            tmp_path,
+            headline={"x_s": {"value": 1.25, "better": "lower"}},
+            config={"quick": True},
+            timestamp="2026-08-07T00:00:00+00:00",
+        )
+        snapshot = json.loads((tmp_path / "BENCH_demo.json").read_text())
+        assert snapshot == {"summary": {"x": 1}}
+        record_bench_run(
+            "demo",
+            {"summary": {"x": 2}},
+            tmp_path,
+            headline={"x_s": {"value": 1.5, "better": "lower"}},
+            config={"quick": True},
+            timestamp="2026-08-07T01:00:00+00:00",
+        )
+        rows = load_history(path)
+        assert len(rows) == 2  # appended, not overwritten
+        assert rows[0]["headline"]["x_s"] == {"value": 1.25, "better": "lower"}
+        assert rows[1]["bench"] == "demo"
+        # snapshot reflects the latest run only
+        assert json.loads((tmp_path / "BENCH_demo.json").read_text())["summary"]["x"] == 2
+
+    def test_record_validates_headline(self, tmp_path):
+        with pytest.raises(ValueError, match="no 'value'"):
+            record_bench_run("d", {}, tmp_path, headline={"m": {"better": "lower"}})
+        with pytest.raises(ValueError, match="'lower' or 'higher'"):
+            record_bench_run(
+                "d", {}, tmp_path, headline={"m": {"value": 1, "better": "sideways"}}
+            )
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "none.jsonl") == []
+
+    def test_load_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"bench": "a"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_history(path)
+
+    def test_regression_lower_is_better(self):
+        rows = [_row(value=1.0), _row(value=1.0), _row(value=1.5)]
+        findings = check_regressions(rows, tolerance=0.10)
+        assert len(findings) == 1
+        assert findings[0]["metric"] == "p95_s"
+        assert findings[0]["ratio"] == pytest.approx(1.5)
+
+    def test_regression_higher_is_better(self):
+        rows = [
+            _row(value=2.0, better="higher", metric="speedup"),
+            _row(value=2.0, better="higher", metric="speedup"),
+            _row(value=1.0, better="higher", metric="speedup"),
+        ]
+        assert len(check_regressions(rows, tolerance=0.10)) == 1
+
+    def test_within_tolerance_passes(self):
+        rows = [_row(value=1.0), _row(value=1.05)]
+        assert check_regressions(rows, tolerance=0.10) == []
+
+    def test_single_run_group_skipped(self):
+        assert check_regressions([_row(value=99.0)]) == []
+
+    def test_configs_do_not_cross_baseline(self):
+        # A slow full run must not be flagged against a quick baseline.
+        rows = [
+            _row(value=0.1, config={"quick": True}),
+            _row(value=10.0, config={"quick": False}),
+        ]
+        assert check_regressions(rows) == []
+
+    def test_median_baseline_robust_to_outlier(self):
+        rows = [_row(value=1.0), _row(value=1.0), _row(value=50.0), _row(value=1.05)]
+        assert check_regressions(rows, tolerance=0.10) == []
+
+    def test_zero_baseline_skipped(self):
+        rows = [_row(value=0.0), _row(value=5.0)]
+        assert check_regressions(rows) == []
+
+    def test_format_report_marks_regressions(self):
+        rows = [_row(value=1.0), _row(value=1.0), _row(value=2.0)]
+        findings = check_regressions(rows)
+        text = format_report(rows, findings)
+        assert "serve" in text
+        assert "p95_s: 1 -> 1 -> 2" in text
+        assert "** REGRESSION +100.0%" in text
+        assert "1 regression(s)" in text
+
+    def test_format_report_empty(self):
+        assert format_report([]) == "no bench history yet"

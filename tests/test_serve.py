@@ -21,6 +21,7 @@ The serving layer's contract, on top of the hub's:
 import asyncio
 import json
 import random
+import re
 import time
 
 import numpy as np
@@ -952,3 +953,284 @@ class TestServeValidation:
             ["serve", "--register", "a=/tmp/x", "--no-dedup", "--no-warm-start"]
         )
         assert args.no_dedup and args.no_warm_start
+
+
+# ---------------------------------------------------------------------------
+# Observability endpoints: /metrics, /jobs/{id}/trace, /jobs/{id}/events, /stats
+# ---------------------------------------------------------------------------
+
+
+async def _http_raw(port, method, path):
+    """Raw-body variant of ``_http`` for non-JSON responses (/metrics)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if value:
+            headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get("content-length", 0)))
+    writer.close()
+    await writer.wait_closed()
+    return int(lines[0].split()[1]), headers, body
+
+
+async def _sse_connect(port, job_id):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET /jobs/{job_id}/events HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    return reader, writer, int(head.split()[1])
+
+
+async def _sse_next(reader, timeout: float = 20.0):
+    """Read one ``event:``/``data:`` block off an open SSE stream."""
+    event = data = None
+    while True:
+        line = (await asyncio.wait_for(reader.readline(), timeout)).decode()
+        if not line:
+            raise AssertionError("SSE stream closed before a terminal event")
+        line = line.rstrip("\r\n")
+        if not line:
+            if event is not None:
+                return event, json.loads(data)
+            continue
+        if line.startswith("event: "):
+            event = line[len("event: "):]
+        elif line.startswith("data: "):
+            data = line[len("data: "):]
+
+
+_PROM_SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$'
+)
+
+
+class TestObservabilityEndpoints:
+    def _pause(self, scheduler, network):
+        scheduler._paused[network] = next(scheduler._seq)
+
+    def _release(self, scheduler, network):
+        scheduler._paused.pop(network, None)
+        backlog = scheduler._backlog.pop(network, None)
+        for job in backlog or ():
+            scheduler._admit.put_nowait(job)
+
+    def test_metrics_endpoint_prometheus_and_json(self):
+        network = _make_network(21)
+
+        async def scenario():
+            with EngineHub(workers=2) as hub:
+                hub.register("n", network)
+                async with Scheduler(hub) as scheduler:
+                    async with ServeHTTP(scheduler, port=0) as server:
+                        job = scheduler.submit("n", k=4, min_nhp=0.3, workers=2)
+                        await job
+
+                        status, headers, body = await _http_raw(
+                            server.port, "GET", "/metrics"
+                        )
+                        assert status == 200
+                        assert headers["content-type"].startswith("text/plain")
+                        text = body.decode()
+                        for line in text.strip().splitlines():
+                            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                                continue
+                            assert _PROM_SAMPLE.match(line), f"bad line: {line!r}"
+                        # the scheduler's instruments are present and moved
+                        assert "# TYPE repro_scheduler_jobs_submitted_total counter" in text
+                        submitted = next(
+                            float(l.split()[-1])
+                            for l in text.splitlines()
+                            if l.startswith("repro_scheduler_jobs_submitted_total ")
+                        )
+                        assert submitted >= 1
+                        assert "repro_job_latency_seconds_bucket" in text
+
+                        status, payload = await _http(
+                            server.port, "GET", "/metrics?format=json"
+                        )
+                        assert status == 200
+                        names = {m["name"] for m in payload["metrics"]}
+                        assert "repro_scheduler_jobs_submitted_total" in names
+                        assert "repro_job_latency_seconds" in names
+
+        asyncio.run(scenario())
+
+    def test_job_trace_structured_and_chrome(self):
+        network = _make_network(22)
+
+        async def scenario():
+            with EngineHub(workers=2) as hub:
+                hub.register("n", network)
+                async with Scheduler(hub) as scheduler:
+                    async with ServeHTTP(scheduler, port=0) as server:
+                        job = scheduler.submit("n", k=4, min_nhp=0.3, workers=2)
+                        await job
+
+                        status, trace = await _http(
+                            server.port, "GET", f"/jobs/{job.id}/trace"
+                        )
+                        assert status == 200
+                        assert trace["job_id"] == job.id
+                        assert trace["meta"]["network"] == "n"
+                        names = [span["name"] for span in trace["spans"]]
+                        assert "plan" in names
+                        assert "finalize" in names
+                        assert any(n.startswith("shard-") or n == "execute"
+                                   for n in names)
+                        for span in trace["spans"]:
+                            assert span["duration_s"] >= 0
+
+                        status, chrome = await _http(
+                            server.port, "GET", f"/jobs/{job.id}/trace?format=chrome"
+                        )
+                        assert status == 200
+                        events = chrome["traceEvents"]
+                        assert events[0]["ph"] == "M"  # process-name metadata
+                        complete = [e for e in events if e["ph"] == "X"]
+                        assert len(complete) == len(trace["spans"])
+                        for event in complete:
+                            assert {"name", "ph", "pid", "tid", "ts", "dur"} <= set(event)
+                            assert event["dur"] >= 0
+
+                        status, _ = await _http(
+                            server.port, "GET", "/jobs/job-424242/trace"
+                        )
+                        assert status == 404
+
+                # observe=False: jobs resolve normally but have no trace
+                async with Scheduler(hub, observe=False) as scheduler:
+                    async with ServeHTTP(scheduler, port=0) as server:
+                        job = scheduler.submit("n", k=3, min_nhp=0.4)
+                        assert (await job) is not None
+                        status, _ = await _http(
+                            server.port, "GET", f"/jobs/{job.id}/trace"
+                        )
+                        assert status == 404
+
+        asyncio.run(scenario())
+
+    def test_sse_heartbeats_then_monotonic_progress(self):
+        network = _make_network(23, num_edges=200)
+
+        async def scenario():
+            with EngineHub(workers=2) as hub:
+                hub.register("n", network)
+                async with Scheduler(hub) as scheduler:
+                    async with ServeHTTP(scheduler, port=0) as server:
+                        server.sse_heartbeat_s = 0.05
+                        # Park the job behind a paused network so the
+                        # stream demonstrably starts before any progress.
+                        self._pause(scheduler, "n")
+                        job = scheduler.submit("n", k=5, min_nhp=0.3, workers=2)
+                        reader, writer, status = await _sse_connect(
+                            server.port, job.id
+                        )
+                        assert status == 200
+
+                        event, payload = await _sse_next(reader)
+                        assert event == "progress"  # immediate snapshot
+                        assert payload["state"] == "pending"
+                        assert payload["shards_done"] == 0
+
+                        heartbeats = 0
+                        while heartbeats < 2:  # parked job => only heartbeats
+                            event, payload = await _sse_next(reader)
+                            assert event == "heartbeat"
+                            assert payload["job_id"] == job.id
+                            heartbeats += 1
+
+                        self._release(scheduler, "n")
+                        last_done = 0
+                        last_floor = None
+                        saw_progress = False
+                        while True:
+                            event, payload = await _sse_next(reader)
+                            if event == "heartbeat":
+                                continue
+                            assert payload["shards_done"] >= last_done
+                            last_done = payload["shards_done"]
+                            if payload["floor"] is not None:
+                                if last_floor is not None:
+                                    assert payload["floor"] >= last_floor
+                                last_floor = payload["floor"]
+                            if event == "done":
+                                assert payload["state"] == "done"
+                                assert payload["shards_done"] == payload["shards_total"]
+                                break
+                            saw_progress = True
+                        assert saw_progress
+                        writer.close()
+                        await writer.wait_closed()
+                        assert job._subscribers == []
+                        assert (await job) is not None
+
+                        # Unknown job ids 404 instead of opening a stream.
+                        _, _, status = await _sse_connect(server.port, "job-999999")
+                        assert status == 404
+
+        asyncio.run(scenario())
+
+    def test_sse_disconnect_frees_subscription_and_job(self):
+        network = _make_network(24)
+
+        async def scenario():
+            with EngineHub(workers=2) as hub:
+                hub.register("n", network)
+                async with Scheduler(hub) as scheduler:
+                    async with ServeHTTP(scheduler, port=0) as server:
+                        server.sse_heartbeat_s = 0.05
+                        self._pause(scheduler, "n")
+                        job = scheduler.submit("n", k=4, min_nhp=0.3, workers=2)
+                        reader, writer, status = await _sse_connect(
+                            server.port, job.id
+                        )
+                        assert status == 200
+                        await _sse_next(reader)  # initial snapshot
+                        assert len(job._subscribers) == 1
+
+                        # Abrupt client disconnect: the next heartbeat
+                        # write fails and must drop the subscription.
+                        writer.close()
+                        await writer.wait_closed()
+                        await _wait_for(lambda: not job._subscribers, timeout=10)
+
+                        # ...and the job itself is unaffected.
+                        self._release(scheduler, "n")
+                        assert (await job) is not None
+
+        asyncio.run(scenario())
+
+    def test_stats_poll_does_not_queue_behind_coordinator(self):
+        network = _make_network(25)
+
+        async def scenario():
+            with EngineHub(workers=2) as hub:
+                hub.register("n", network)
+                async with Scheduler(hub) as scheduler:
+                    async with ServeHTTP(scheduler, port=0) as server:
+                        await scheduler.submit("n", k=3, min_nhp=0.4, workers=2)
+                        # Saturate the single coordinator thread the way a
+                        # heavy serial mine would.
+                        blocker = asyncio.ensure_future(
+                            scheduler._run_coord(time.sleep, 0.6)
+                        )
+                        await asyncio.sleep(0)  # let the blocker occupy it
+                        loop = asyncio.get_running_loop()
+                        start = loop.time()
+                        status, payload = await _http(server.port, "GET", "/stats")
+                        elapsed = loop.time() - start
+                        assert status == 200
+                        # Snapshot-served: far below the 0.6s the
+                        # coordinator is busy for.
+                        assert elapsed < 0.3, f"/stats took {elapsed:.3f}s"
+                        assert payload["hub"]["networks"] == 1
+                        assert "age_s" in payload["hub"]
+                        assert payload["scheduler"]["completed"] >= 1
+                        await blocker
+
+        asyncio.run(scenario())
