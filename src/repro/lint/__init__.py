@@ -9,11 +9,20 @@ swallowed.  This package turns those conventions into machine-checked
 rules (stdlib :mod:`ast` only — no new dependencies) so they fail at
 review time instead of under production load.
 
+PR 10 grew the per-file checks into a whole-program analysis: one
+shared symbol table and conservative call graph
+(:mod:`repro.lint.callgraph`), thread-domain inference over it
+(:mod:`repro.lint.domains`), lock-order cycle detection
+(:mod:`repro.lint.locks`), and pickle-boundary / shared-memory taint
+tracking (:mod:`repro.lint.taint`) — so the coordinator-ownership and
+blocking rules are now *transitive* across files, not just local.
+
 Usage::
 
     python -m repro.lint [PATHS ...]      # default: src/
     python -m repro.lint --list-rules
-    python -m repro.lint --json out.json src/
+    python -m repro.lint --json out.json --sarif out.sarif src/
+    python -m repro.lint --baseline old_report.json --stats src/
 
 Findings are suppressed per-line with a justified pragma::
 
@@ -26,6 +35,7 @@ reporters in :mod:`repro.lint.report`.
 
 from __future__ import annotations
 
+from collections import Counter
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -51,14 +61,28 @@ __all__ = [
 def run_lint(
     paths: Iterable[str | Path],
     select: Sequence[str] | None = None,
+    baseline: Iterable[tuple[str, str, str]] | None = None,
+    project: Project | None = None,
 ) -> LintReport:
     """Lint every ``*.py`` under ``paths`` and resolve suppressions.
 
     ``select`` restricts the run to the named rules (the ``parse`` and
     ``pragma`` built-ins always run; their findings are unsuppressable).
     Raises :class:`KeyError` for an unknown rule name.
+
+    ``baseline`` is a collection of ``(rule, path, message)`` triples
+    from a previous run (see ``--baseline``): matching findings are
+    moved to :attr:`LintReport.baselined` and do not fail the run —
+    line numbers are deliberately not matched, so unrelated edits that
+    shift a known finding do not break the gate.
+
+    ``project`` reuses an already-loaded :class:`Project` (and with it
+    the memoized program analysis) instead of re-reading ``paths``.
     """
-    project = load_project(paths)
+    import time
+
+    if project is None:
+        project = load_project(paths)
     if select is None:
         names = list(ALL_RULES)
     else:
@@ -67,9 +91,12 @@ def run_lint(
             raise KeyError(f"unknown rule(s): {', '.join(unknown)}")
         names = list(dict.fromkeys(list(select) + sorted(UNSUPPRESSABLE)))
 
+    remaining = Counter(baseline or ())
     by_display = {f.display: f for f in project}
     report = LintReport(files_checked=len(project.files), rules_run=names)
+    timings: dict[str, float] = {}
     for name in names:
+        started = time.perf_counter()
         for finding in ALL_RULES[name].run(project):
             file = by_display.get(finding.path)
             pragma = (
@@ -90,6 +117,18 @@ def run_lint(
                         justification=pragma.justification,
                     )
                 )
+            elif remaining[(finding.rule, finding.path, finding.message)] > 0:
+                remaining[(finding.rule, finding.path, finding.message)] -= 1
+                report.baselined.append(finding)
             else:
                 report.findings.append(finding)
+        timings[name] = time.perf_counter() - started
+    analysis = project._analysis  # populated only if a rule needed it
+    report.stats = {
+        **(analysis.stats() if analysis is not None else
+           {"files": len(project.files)}),
+        "rule_seconds": {
+            name: round(secs, 4) for name, secs in timings.items()
+        },
+    }
     return report

@@ -1,0 +1,40 @@
+"""The :class:`Rule` base class.
+
+Lives in its own leaf module so the interprocedural rule modules
+(:mod:`~repro.lint.domains`, :mod:`~repro.lint.locks`,
+:mod:`~repro.lint.taint`) can subclass it without importing the
+registry in :mod:`~repro.lint.rules` — which imports *them*.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .model import Finding, Project, SourceFile
+
+__all__ = ["Rule"]
+
+
+class Rule:
+    """Base class: subclasses set ``name`` and implement :meth:`run`."""
+
+    name: str = ""
+
+    @property
+    def description(self) -> str:
+        doc = (self.__doc__ or "").strip()
+        first_paragraph = doc.split("\n\n")[0]
+        return " ".join(first_paragraph.split())
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, file: SourceFile, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=file.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

@@ -1,0 +1,306 @@
+"""Thread-domain inference and the ``coordinator-only-transitive`` rule.
+
+Every function is labelled with the set of *thread domains* it may run
+on, propagated over the call graph from entry points:
+
+``loop``
+    ``async def`` bodies in ``repro/serve/`` (the asyncio event loop)
+    and targets of loop-dispatch edges (``call_soon*`` and friends).
+``coordinator``
+    ``@coordinator_only`` definitions and references handed to
+    ``Scheduler._run_coord`` / ``run_in_executor``.
+``worker``
+    The worker-process entry points (``initialize_worker`` /
+    ``run_shard`` in ``repro/parallel/worker.py``) and references that
+    cross the pool boundary (``apply_async`` targets, initializers).
+``any``
+    Targets whose execution context is unknown (``callback=`` hooks,
+    lambda bodies).
+
+Domains flow along ordinary ``call``/``partial`` edges (the callee runs
+on the caller's thread); dispatch edges *replace* the domain at the
+boundary.  ``@coordinator_only`` functions are a hard boundary: no
+other domain is ever propagated into or through them — a loop-domain
+chain *reaching* one is precisely the violation this rule reports.
+
+The ``coordinator-only-transitive`` rule walks synchronous call chains
+from every loop entry and fires when a chain
+
+* reaches a ``@coordinator_only`` internal (the transitive form of the
+  per-file ``coordinator-only`` rule, which only sees direct calls in
+  ``repro/serve/`` — a serve coroutine calling an unmarked engine-layer
+  wrapper that calls a marked internal is invisible to it), or
+* reaches a *blocking primitive* (``time.sleep``, ``sqlite3.*``,
+  ``subprocess.*``, ``open()``, non-awaited ``.acquire()``/``.wait()``/
+  ``.run_query()``/``.sweep_serial()``) in a **sync helper** at depth
+  ≥ 1 — the transitive form of ``no-blocking-in-async``, which only
+  inspects the coroutine's own body.
+
+Each finding prints the full call chain, one ``name (file:line)`` hop
+at a time, and is anchored at the call site of the final hop so a
+pragma on that line can suppress it.
+
+Soundness envelope: inherits the call graph's blindness to dynamic
+dispatch (``getattr``, function tables, monkey-patching) — a chain
+routed through one produces no finding.  Conversely, conservative
+attribute resolution may follow a same-named method on an unrelated
+class; such chains are real code paths *somewhere* in the project but
+possibly not reachable from the reported entry, and warrant a pragma
+with the reasoning written down.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .callgraph import (
+    CallEdge,
+    FunctionInfo,
+    ProgramAnalysis,
+    dotted,
+    last_name,
+    walk_scope,
+)
+from .base import Rule
+from .model import Finding, Project
+
+__all__ = ["CoordinatorOnlyTransitive", "infer_domains"]
+
+_BLOCKING_ATTRS = frozenset({"acquire", "wait", "run_query", "sweep_serial"})
+
+#: Edge kinds along which the caller's domain flows into the callee.
+_FLOW_KINDS = frozenset({"call", "partial"})
+#: Dispatch kinds that *set* the callee's domain.
+_DISPATCH_DOMAIN = {"coord": "coordinator", "loop": "loop", "worker": "worker",
+                    "any": "any"}
+
+
+def _loop_entries(analysis: ProgramAnalysis) -> list[FunctionInfo]:
+    entries = [
+        f
+        for f in analysis.functions.values()
+        if f.is_async and f.file.rel.startswith("repro/serve/")
+    ]
+    seen = {f.qname for f in entries}
+    for edge in analysis.edges:
+        if edge.kind == "loop" and edge.callee not in seen:
+            seen.add(edge.callee)
+            entries.append(analysis.functions[edge.callee])
+    return entries
+
+
+def _worker_entries(analysis: ProgramAnalysis) -> list[FunctionInfo]:
+    entries = [
+        f
+        for f in analysis.functions.values()
+        if f.name in ("initialize_worker", "run_shard")
+        and f.file.rel == "repro/parallel/worker.py"
+    ]
+    seen = {f.qname for f in entries}
+    for edge in analysis.edges:
+        if edge.kind == "worker" and edge.callee not in seen:
+            seen.add(edge.callee)
+            entries.append(analysis.functions[edge.callee])
+    return entries
+
+
+def infer_domains(analysis: ProgramAnalysis) -> dict[str, frozenset[str]]:
+    """``qname -> {'loop','coordinator','worker','any'}`` labels."""
+    domains: dict[str, set[str]] = {}
+
+    def seed(qname: str, domain: str) -> None:
+        domains.setdefault(qname, set()).add(domain)
+
+    for info in analysis.functions.values():
+        if info.is_marked:
+            seed(info.qname, "coordinator")
+    for info in _loop_entries(analysis):
+        if not info.is_marked:
+            seed(info.qname, "loop")
+    for info in _worker_entries(analysis):
+        if not info.is_marked:
+            seed(info.qname, "worker")
+    for edge in analysis.edges:
+        domain = _DISPATCH_DOMAIN.get(edge.kind)
+        if domain is not None and not analysis.functions[edge.callee].is_marked:
+            seed(edge.callee, domain)
+
+    # Propagate along synchronous call edges to a fixpoint.  Marked
+    # functions are a boundary: they stay pure-coordinator.
+    changed = True
+    while changed:
+        changed = False
+        for edge in analysis.edges:
+            if edge.kind not in _FLOW_KINDS:
+                continue
+            caller = domains.get(edge.caller)
+            if not caller:
+                continue
+            callee_info = analysis.functions[edge.callee]
+            if callee_info.is_marked:
+                continue
+            target = domains.setdefault(edge.callee, set())
+            before = len(target)
+            target |= caller
+            if len(target) != before:
+                changed = True
+    return {q: frozenset(d) for q, d in domains.items()}
+
+
+def _blocking_sites(info: FunctionInfo) -> list[tuple[ast.AST, str]]:
+    """Blocking-primitive call sites in one function body (R1's set)."""
+    node = info.node
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return []
+    awaited = {
+        id(n.value)
+        for n in ast.walk(node)
+        if isinstance(n, ast.Await) and isinstance(n.value, ast.Call)
+    }
+    sites: list[tuple[ast.AST, str]] = []
+    for sub in walk_scope(node.body):
+        if not isinstance(sub, ast.Call):
+            continue
+        d = dotted(sub.func)
+        if d == "time.sleep":
+            sites.append((sub, "time.sleep()"))
+        elif d is not None and d.startswith(("sqlite3.", "subprocess.")):
+            sites.append((sub, f"{d}()"))
+        elif isinstance(sub.func, ast.Name) and sub.func.id == "open":
+            sites.append((sub, "open()"))
+        elif (
+            isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _BLOCKING_ATTRS
+            and id(sub) not in awaited
+        ):
+            sites.append((sub, f".{sub.func.attr}()"))
+    return sites
+
+
+class CoordinatorOnlyTransitive(Rule):
+    """Loop-domain code must not *transitively* reach a
+    ``@coordinator_only`` internal or a blocking primitive through any
+    synchronous call chain.
+
+    Invariant (PR 4, made interprocedural in PR 10): the per-file
+    ``coordinator-only`` and ``no-blocking-in-async`` rules police a
+    coroutine's own body and direct calls inside ``repro/serve/``; this
+    rule closes both over the project call graph, so a serve coroutine
+    reaching a marked engine internal (or a ``time.sleep``) through an
+    unmarked wrapper in *any* layer fires, with the full chain printed.
+    Legal dispatch (references through ``_run_coord`` /
+    ``run_in_executor`` / ``call_soon*`` / pool callbacks) does not
+    propagate the loop domain.  See the module docstring for the
+    soundness envelope.
+    """
+
+    name = "coordinator-only-transitive"
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        analysis = project.analysis()
+        reported: set[tuple[str, int, str]] = set()
+        for entry in _loop_entries(analysis):
+            for finding, key in self._walk_entry(analysis, entry):
+                if key not in reported:
+                    reported.add(key)
+                    yield finding
+
+    def _walk_entry(
+        self, analysis: ProgramAnalysis, entry: FunctionInfo
+    ) -> Iterator[tuple[Finding, tuple[str, int, str]]]:
+        # BFS with parent pointers so findings can print the chain.
+        parents: dict[str, tuple[str, CallEdge]] = {}
+        visited = {entry.qname}
+        frontier = [entry.qname]
+        while frontier:
+            next_frontier: list[str] = []
+            for qname in frontier:
+                for edge in analysis.edges_by_caller.get(qname, []):
+                    if edge.kind not in _FLOW_KINDS:
+                        continue
+                    callee = analysis.functions[edge.callee]
+                    if callee.is_marked:
+                        yield (
+                            self._marked_finding(analysis, entry, parents, edge),
+                            (edge.path, edge.line, edge.callee),
+                        )
+                        continue
+                    if edge.callee in visited:
+                        continue
+                    visited.add(edge.callee)
+                    parents[edge.callee] = (qname, edge)
+                    if not callee.is_async:
+                        for _site, what in _blocking_sites(callee):
+                            yield (
+                                self._blocking_finding(
+                                    analysis, entry, parents, edge, callee, what
+                                ),
+                                (edge.path, edge.line, edge.callee),
+                            )
+                            break  # one finding per function per entry
+                    next_frontier.append(edge.callee)
+            frontier = next_frontier
+
+    def _chain(
+        self,
+        analysis: ProgramAnalysis,
+        entry: FunctionInfo,
+        parents: dict[str, tuple[str, CallEdge]],
+        final: CallEdge,
+    ) -> str:
+        hops: list[str] = []
+        target = analysis.functions[final.callee]
+        hops.append(f"{target.name} ({target.where()})")
+        qname = final.caller
+        edge: CallEdge | None = final
+        while qname != entry.qname:
+            info = analysis.functions[qname]
+            hops.append(f"{info.name} ({edge.path}:{edge.line})" if edge else info.name)
+            qname, edge = parents[qname]
+        hops.append(f"{entry.name} ({edge.path}:{edge.line})" if edge else entry.name)
+        return " -> ".join(reversed(hops))
+
+    def _marked_finding(
+        self,
+        analysis: ProgramAnalysis,
+        entry: FunctionInfo,
+        parents: dict[str, tuple[str, CallEdge]],
+        edge: CallEdge,
+    ) -> Finding:
+        target = analysis.functions[edge.callee]
+        return Finding(
+            rule=self.name,
+            path=edge.path,
+            line=edge.line,
+            col=edge.col,
+            message=(
+                f"event-loop entry 'async def {entry.name}' reaches "
+                f"@coordinator_only '{target.name}' via "
+                f"{self._chain(analysis, entry, parents, edge)}; route the "
+                "chain through Scheduler._run_coord or mark the intermediate "
+                "callers @coordinator_only"
+            ),
+        )
+
+    def _blocking_finding(
+        self,
+        analysis: ProgramAnalysis,
+        entry: FunctionInfo,
+        parents: dict[str, tuple[str, CallEdge]],
+        edge: CallEdge,
+        callee: FunctionInfo,
+        what: str,
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=edge.path,
+            line=edge.line,
+            col=edge.col,
+            message=(
+                f"event-loop entry 'async def {entry.name}' reaches blocking "
+                f"{what} inside '{callee.name}' via "
+                f"{self._chain(analysis, entry, parents, edge)}; blocking "
+                "work must run on the coordinator (_run_coord)"
+            ),
+        )

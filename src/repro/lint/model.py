@@ -108,9 +108,19 @@ class Project:
 
     def __init__(self, files: list[SourceFile]):
         self.files = files
+        self._analysis = None
 
     def __iter__(self) -> Iterator[SourceFile]:
         return iter(self.files)
+
+    def analysis(self):
+        """The shared :class:`~repro.lint.callgraph.ProgramAnalysis`,
+        built on first use and reused by every interprocedural rule."""
+        if self._analysis is None:
+            from .callgraph import ProgramAnalysis
+
+            self._analysis = ProgramAnalysis(self)
+        return self._analysis
 
     def files_under(self, *prefixes: str) -> list[SourceFile]:
         """Files whose package-relative path starts with any prefix."""

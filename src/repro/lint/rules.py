@@ -15,6 +15,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
+from .base import Rule
 from .model import Finding, Project, SourceFile
 
 __all__ = ["ALL_RULES", "Rule", "UNSUPPRESSABLE", "iter_rules"]
@@ -89,30 +90,6 @@ def _has_marker(node: ast.AST, marker: str) -> bool:
         if _last_name(target) == marker:
             return True
     return False
-
-
-class Rule:
-    """Base class: subclasses set ``name`` and implement :meth:`run`."""
-
-    name: str = ""
-
-    @property
-    def description(self) -> str:
-        doc = (self.__doc__ or "").strip()
-        first_paragraph = doc.split("\n\n")[0]
-        return " ".join(first_paragraph.split())
-
-    def run(self, project: Project) -> Iterator[Finding]:
-        raise NotImplementedError
-
-    def finding(self, file: SourceFile, node: ast.AST, message: str) -> Finding:
-        return Finding(
-            rule=self.name,
-            path=file.display,
-            line=getattr(node, "lineno", 1),
-            col=getattr(node, "col_offset", 0),
-            message=message,
-        )
 
 
 # --------------------------------------------------------------------------
@@ -751,6 +728,10 @@ class PragmaHygiene(Rule):
                     )
 
 
+from .domains import CoordinatorOnlyTransitive  # noqa: E402
+from .locks import LockOrder  # noqa: E402
+from .taint import NoShmAcrossTransport, PickleTaint  # noqa: E402
+
 ALL_RULES: dict[str, Rule] = {
     rule.name: rule
     for rule in (
@@ -763,6 +744,10 @@ ALL_RULES: dict[str, Rule] = {
         ObsNonblocking(),
         ParseFailure(),
         PragmaHygiene(),
+        CoordinatorOnlyTransitive(),
+        LockOrder(),
+        PickleTaint(),
+        NoShmAcrossTransport(),
     )
 }
 

@@ -1,0 +1,485 @@
+"""Pickle-boundary and shared-memory taint analysis.
+
+Two rules share one conservative, field-sensitive taint engine:
+
+``pickle-taint``
+    Values reaching ``ShardTask`` fields or pool/fleet
+    ``submit``/``apply_async``/``run_query`` arguments are traced
+    through assignments, ``with``/``for`` bindings, attribute fields
+    (``self.x = ...`` anywhere in the class), function returns, and
+    calls, back to *poisoned sources*: lambdas and locally-defined
+    functions, ``threading``/``multiprocessing`` primitives, sockets,
+    ``asyncio`` primitives, and ``SharedStoreLease`` objects
+    (``SharedStoreLease(...)`` / ``lease_shared()`` /
+    ``export_shared()``).  The per-file ``pickle-boundary`` rule only
+    sees a lambda written literally at the call site; this rule follows
+    the value.  ``.handle`` access *sanitizes*: a
+    ``SharedStoreHandle`` is picklable by design and legitimately
+    crosses the on-box worker boundary.  The ``callback=`` /
+    ``error_callback=`` keywords stay parent-side and are exempt.
+
+``no-shm-across-transport``
+    The first transport-boundary rule, landed ahead of the multi-host
+    refactor (ROADMAP): shared-memory-derived values (leases, exported
+    segments, ``SharedStoreHandle``/``.handle``, bus handles) must
+    never flow into a *transport* send (``send``/``sendall``/
+    ``send_task``/``dispatch``/``publish`` on a receiver whose name
+    mentions transport/remote/wire).  POSIX shared memory only exists
+    on one box; shipping a handle over a wire protocol hands the
+    remote worker a name it can never attach.  Local pool dispatch
+    (``ShardTask.store_handle``) is *not* a sink — handles legitimately
+    cross the same-box process boundary.  Vacuously clean today;
+    fixture-tested so the rule is live the day a transport lands.
+
+Soundness envelope: the engine unions taint over all assignments to a
+name (flow- and path-insensitive), tracks containers as a whole (one
+tainted element taints the tuple), does not track aliasing through
+mutation (``d["k"] = lease; use(d)`` is missed), and resolves calls
+through the conservative call graph — so it can both miss taint routed
+through dynamic dispatch and report taint along call-graph edges no
+real execution takes.  Interprocedural depth is bounded by a fixpoint
+over return-taint and sink-parameter summaries, so helper indirection
+(``def _send(task): pool.submit(task)``) is followed at any depth.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .base import Rule
+from .callgraph import (
+    FunctionInfo,
+    ProgramAnalysis,
+    dotted,
+    last_name,
+    walk_scope,
+)
+from .model import Finding, Project
+
+__all__ = ["NoShmAcrossTransport", "PickleTaint"]
+
+_THREADING_PRIMS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Event",
+     "Barrier"}
+)
+_ASYNCIO_PRIMS = frozenset(
+    {"Queue", "LifoQueue", "PriorityQueue", "Event", "Lock", "Condition",
+     "Semaphore", "BoundedSemaphore", "Future"}
+)
+_SHM_CALLS = frozenset(
+    {"SharedStoreLease", "lease_shared", "export_shared", "SharedMemory",
+     "SharedStoreHandle", "attach_shared_store", "handle"}
+)
+_PARENT_KWARGS = frozenset({"callback", "error_callback"})
+
+#: A taint is either a human-readable source description (str) or a
+#: parameter marker ("param", index) used for interprocedural summaries.
+Taint = object
+
+
+class _Config:
+    """What counts as a source, a sink, and a sanitizer for one rule."""
+
+    lambda_desc: str | None = None
+    sanitize_attrs: frozenset[str] = frozenset()
+
+    def call_source(self, call: ast.Call) -> str | None:
+        raise NotImplementedError
+
+    def sink_exprs(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> tuple[str, list[ast.AST]] | None:
+        """``(sink description, expressions pickled/sent)`` or None."""
+        raise NotImplementedError
+
+
+class _PickleConfig(_Config):
+    lambda_desc = "a lambda closure"
+    sanitize_attrs = frozenset({"handle"})
+
+    def call_source(self, call: ast.Call) -> str | None:
+        d = dotted(call.func)
+        name = last_name(call.func)
+        if d is not None:
+            parts = d.split(".")
+            if (
+                parts[0] in ("threading", "multiprocessing", "mp")
+                and parts[-1] in _THREADING_PRIMS
+            ):
+                return f"a {parts[0]} primitive ({d}())"
+            if parts[0] == "asyncio" and parts[-1] in _ASYNCIO_PRIMS:
+                return f"an asyncio primitive ({d}())"
+            if d == "socket.socket":
+                return "a socket"
+        if name == "SharedStoreLease" or name in ("lease_shared", "export_shared"):
+            return f"a shared-memory lease ({name}(...))"
+        return None
+
+    def sink_exprs(self, info, call):
+        func = call.func
+        if last_name(func) == "ShardTask":
+            exprs = list(call.args) + [kw.value for kw in call.keywords]
+            return "a ShardTask field", exprs
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr not in ("submit", "apply_async", "run_query"):
+            return None
+        receiver = (dotted(func.value) or "").lower()
+        pooled = "pool" in receiver or "fleet" in receiver
+        if not pooled and receiver in ("self", "cls") and info.cls is not None:
+            cls = info.cls.lower()
+            pooled = "pool" in cls or "fleet" in cls
+        if not pooled:
+            return None
+        exprs = list(call.args) + [
+            kw.value for kw in call.keywords if kw.arg not in _PARENT_KWARGS
+        ]
+        return f"a {func.attr}() worker-pool argument", exprs
+
+
+class _ShmConfig(_Config):
+    _SINK_VERBS = frozenset({"send", "sendall", "send_task", "dispatch", "publish"})
+    _SINK_TOKENS = ("transport", "remote", "wire")
+
+    def call_source(self, call: ast.Call) -> str | None:
+        name = last_name(call.func)
+        if name in _SHM_CALLS:
+            return f"a shared-memory object ({name}(...))"
+        return None
+
+    def sink_exprs(self, info, call):
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._SINK_VERBS:
+            return None
+        receiver = (dotted(func.value) or "").lower()
+        if not any(token in receiver for token in self._SINK_TOKENS):
+            return None
+        exprs = list(call.args) + [kw.value for kw in call.keywords]
+        return f"a transport .{func.attr}() payload", exprs
+
+
+# --------------------------------------------------------------------------
+# the engine
+
+
+class _TaintEngine:
+    _ROUNDS = 4  # interprocedural fixpoint bound
+
+    def __init__(self, analysis: ProgramAnalysis, config: _Config):
+        self.analysis = analysis
+        self.config = config
+        self.return_taint: dict[str, set] = {}
+        self.field_taint: dict[tuple[str, str], set[str]] = {}
+        self.sink_params: dict[str, set[int]] = {}
+        self.findings: list[tuple[str, int, int, str]] = []
+        funcs = [
+            f
+            for f in analysis.functions.values()
+            if isinstance(f.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for _ in range(self._ROUNDS):
+            before = (
+                sum(len(v) for v in self.return_taint.values()),
+                sum(len(v) for v in self.field_taint.values()),
+                sum(len(v) for v in self.sink_params.values()),
+            )
+            for info in funcs:
+                self._process(info, record=False)
+            after = (
+                sum(len(v) for v in self.return_taint.values()),
+                sum(len(v) for v in self.field_taint.values()),
+                sum(len(v) for v in self.sink_params.values()),
+            )
+            if after == before:
+                break
+        for info in funcs:
+            self._process(info, record=True)
+
+    # -- per-function ----------------------------------------------------
+
+    def _params(self, info: FunctionInfo) -> list[str]:
+        args = info.node.args
+        names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+        return names
+
+    def _callees(self, info: FunctionInfo, call: ast.Call) -> list[FunctionInfo]:
+        line = getattr(call, "lineno", None)
+        out = []
+        for edge in self.analysis.edges_by_caller.get(info.qname, []):
+            if edge.kind == "call" and edge.line == line:
+                out.append(self.analysis.functions[edge.callee])
+        return out
+
+    def _process(self, info: FunctionInfo, record: bool) -> None:
+        env: dict[str, set] = {}
+        for i, name in enumerate(self._params(info)):
+            env[name] = {("param", i)}
+        local_defs = {
+            n.name
+            for n in walk_scope(info.node.body)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+        }
+        # Bindings, to a local fixpoint (out-of-order def/use tolerant).
+        for _ in range(3):
+            changed = False
+            for node in walk_scope(info.node.body):
+                changed |= self._bind(info, env, local_defs, node)
+            if not changed:
+                break
+        # Sinks, returns, field stores, interprocedural propagation.
+        for node in walk_scope(info.node.body):
+            if isinstance(node, ast.Return) and node.value is not None:
+                taints = self._eval(info, env, local_defs, node.value)
+                if taints:
+                    self.return_taint.setdefault(info.qname, set()).update(taints)
+            elif isinstance(node, ast.Assign):
+                self._field_store(info, env, local_defs, node)
+            elif isinstance(node, ast.Call):
+                self._check_call(info, env, local_defs, node, record)
+
+    def _bind(self, info, env, local_defs, node) -> bool:
+        def assign(target: ast.AST, taints: set) -> bool:
+            if isinstance(target, ast.Name):
+                dest = env.setdefault(target.id, set())
+                before = len(dest)
+                dest.update(taints)
+                return len(dest) != before
+            if isinstance(target, (ast.Tuple, ast.List)):
+                return any(assign(t, taints) for t in list(target.elts))
+            return False
+
+        changed = False
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if value is None:
+                return False
+            taints = self._eval(info, env, local_defs, value)
+            if not taints:
+                return False
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                changed |= assign(target, taints)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is None:
+                    continue
+                taints = self._eval(info, env, local_defs, item.context_expr)
+                if taints:
+                    changed |= assign(item.optional_vars, taints)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            taints = self._eval(info, env, local_defs, node.iter)
+            if taints:
+                changed |= assign(node.target, taints)
+        return changed
+
+    def _field_store(self, info, env, local_defs, node: ast.Assign) -> None:
+        if info.cls is None:
+            return
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                strings = {
+                    t
+                    for t in self._eval(info, env, local_defs, node.value)
+                    if isinstance(t, str)
+                }
+                if strings:
+                    self.field_taint.setdefault(
+                        (info.cls, target.attr), set()
+                    ).update(strings)
+
+    # -- expression taint ------------------------------------------------
+
+    def _eval(self, info, env, local_defs, expr: ast.AST, depth: int = 0) -> set:
+        if depth > 12:
+            return set()
+        if isinstance(expr, ast.Name):
+            taints = set(env.get(expr.id, ()))
+            if expr.id in local_defs and self.config.lambda_desc is not None:
+                taints.add(f"locally-defined '{expr.id}'")
+            return taints
+        if isinstance(expr, ast.Lambda):
+            return (
+                {self.config.lambda_desc}
+                if self.config.lambda_desc is not None
+                else set()
+            )
+        if isinstance(expr, ast.Await):
+            return self._eval(info, env, local_defs, expr.value, depth + 1)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in self.config.sanitize_attrs:
+                return set()
+            taints: set = set()
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                if info.cls is not None:
+                    for cls in self.analysis.related_classes(info.cls):
+                        taints |= self.field_taint.get((cls, expr.attr), set())
+            taints |= self._eval(info, env, local_defs, expr.value, depth + 1)
+            return taints
+        if isinstance(expr, ast.Call):
+            source = self.config.call_source(expr)
+            if source is not None:
+                return {source}
+            taints = set()
+            # a call on a sanitizing attribute (lease.handle()) is clean
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in self.config.sanitize_attrs
+            ):
+                return set()
+            for callee in self._callees(info, expr):
+                for t in self.return_taint.get(callee.qname, ()):
+                    if isinstance(t, str):
+                        taints.add(t)
+                    else:  # ("param", i): substitute the call-site arg
+                        arg = self._arg_at(callee, expr, t[1])
+                        if arg is not None:
+                            taints |= self._eval(
+                                info, env, local_defs, arg, depth + 1
+                            )
+            return taints
+        if isinstance(
+            expr,
+            (ast.Tuple, ast.List, ast.Set, ast.Starred, ast.BoolOp, ast.BinOp,
+             ast.IfExp, ast.NamedExpr),
+        ):
+            taints = set()
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, (ast.expr,)):
+                    taints |= self._eval(info, env, local_defs, child, depth + 1)
+            return taints
+        if isinstance(expr, ast.Dict):
+            taints = set()
+            for value in expr.values:
+                taints |= self._eval(info, env, local_defs, value, depth + 1)
+            return taints
+        return set()
+
+    @staticmethod
+    def _arg_at(callee: FunctionInfo, call: ast.Call, index: int) -> ast.AST | None:
+        offset = 1 if callee.cls is not None else 0
+        positional = index - offset
+        if 0 <= positional < len(call.args):
+            return call.args[positional]
+        args = callee.node.args
+        names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+        if 0 <= index < len(names):
+            wanted = names[index]
+            for kw in call.keywords:
+                if kw.arg == wanted:
+                    return kw.value
+        return None
+
+    # -- sinks -----------------------------------------------------------
+
+    def _check_call(self, info, env, local_defs, call: ast.Call, record: bool):
+        sink = self.config.sink_exprs(info, call)
+        if sink is not None:
+            desc, exprs = sink
+            params = set(self._params(info))
+            for expr in exprs:
+                taints = self._eval(info, env, local_defs, expr)
+                for t in taints:
+                    if isinstance(t, str):
+                        if record:
+                            self.findings.append(
+                                (
+                                    info.file.display,
+                                    getattr(expr, "lineno", call.lineno),
+                                    getattr(expr, "col_offset", 0),
+                                    f"{t} flows into {desc} in "
+                                    f"'{info.name}' — it cannot cross this "
+                                    "boundary",
+                                )
+                            )
+                    else:
+                        self.sink_params.setdefault(info.qname, set()).add(t[1])
+            del params
+        # propagation into callees whose parameters reach a sink
+        for callee in self._callees(info, call):
+            for index in self.sink_params.get(callee.qname, ()):
+                arg = self._arg_at(callee, call, index)
+                if arg is None:
+                    continue
+                taints = self._eval(info, env, local_defs, arg)
+                for t in taints:
+                    if isinstance(t, str):
+                        if record:
+                            self.findings.append(
+                                (
+                                    info.file.display,
+                                    getattr(arg, "lineno", call.lineno),
+                                    getattr(arg, "col_offset", 0),
+                                    f"{t} flows into a boundary sink inside "
+                                    f"'{callee.name}' ({callee.where()}) via "
+                                    f"this call in '{info.name}'",
+                                )
+                            )
+                    else:
+                        self.sink_params.setdefault(info.qname, set()).add(t[1])
+
+
+# --------------------------------------------------------------------------
+# the rules
+
+
+class _TaintRule(Rule):
+    config_cls: type[_Config] = _Config
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        analysis = project.analysis()
+        engine = _TaintEngine(analysis, self.config_cls())
+        seen: set[tuple] = set()
+        for path, line, col, message in engine.findings:
+            key = (path, line, message)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Finding(
+                rule=self.name, path=path, line=line, col=col, message=message
+            )
+
+
+class PickleTaint(_TaintRule):
+    """Unpicklable values must not *flow* into the worker boundary —
+    ``ShardTask`` fields and pool/fleet submit arguments are traced
+    back through assignments, fields, returns, and calls to closure /
+    lock / socket / asyncio / shared-memory-lease sources.
+
+    Invariant (PRs 1–2, made interprocedural in PR 10): everything a
+    shard task carries is pickled into a worker process.  The per-file
+    ``pickle-boundary`` rule catches a lambda written at the call
+    site; this rule catches the same lambda bound to a variable three
+    assignments earlier, a lease stored on ``self`` and submitted from
+    another method, or a helper whose parameter ends up in a
+    ``ShardTask`` field.  ``.handle`` sanitizes (a
+    ``SharedStoreHandle`` is picklable by design);
+    ``callback=``/``error_callback=`` stay parent-side and are exempt.
+    See the module docstring for the soundness envelope.
+    """
+
+    name = "pickle-taint"
+    config_cls = _PickleConfig
+
+
+class NoShmAcrossTransport(_TaintRule):
+    """Shared-memory handles and leases must never flow into a
+    transport send (``send``/``dispatch``/``publish`` on
+    transport/remote/wire receivers).
+
+    Invariant (ROADMAP, multi-host scale-out — landed ahead of the
+    refactor it gates): POSIX shared memory is same-box only.  When
+    ``ShardTask`` dispatch grows a transport interface, store access
+    must be re-established remotely (mmap-file shipping / object-store
+    fetch), never by shipping a ``/dev/shm`` name.  Local pool
+    dispatch is exempt: handles legitimately cross the same-box
+    process boundary.  See the module docstring for the soundness
+    envelope.
+    """
+
+    name = "no-shm-across-transport"
+    config_cls = _ShmConfig

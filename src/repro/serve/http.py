@@ -169,7 +169,9 @@ class ServeHTTP:
         await self.close()
 
     # ------------------------------------------------------------------
-    async def _handle_client(self, reader, writer) -> None:
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         try:
             try:
                 method, path, query, body = await self._read_request(reader)
@@ -211,7 +213,9 @@ class ServeHTTP:
             except Exception:
                 pass
 
-    async def _read_request(self, reader) -> tuple[str, str, dict, dict | None]:
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict, dict | None]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise _BadRequest("empty request")
@@ -247,12 +251,15 @@ class ServeHTTP:
         query = urllib.parse.parse_qs(raw_query)
         return method.upper(), path, query, body
 
-    async def _respond(self, writer, status: int, payload: dict) -> None:
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
         data = json.dumps(payload, default=str).encode()
         await self._respond_bytes(writer, status, data, "application/json")
 
     async def _respond_bytes(
-        self, writer, status: int, data: bytes, content_type: str
+        self, writer: asyncio.StreamWriter, status: int, data: bytes,
+        content_type: str
     ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 500: "Internal Server Error"}
@@ -268,7 +275,7 @@ class ServeHTTP:
         except (ConnectionError, asyncio.CancelledError):
             pass
 
-    async def _metrics(self, writer, query: dict) -> None:
+    async def _metrics(self, writer: asyncio.StreamWriter, query: dict) -> None:
         # render_* build the exposition entirely in memory — no file or
         # sqlite I/O ever happens on the event loop here.
         fmt = (query.get("format") or ["prometheus"])[0]
@@ -283,12 +290,14 @@ class ServeHTTP:
     # ------------------------------------------------------------------
     # SSE progress streaming
     # ------------------------------------------------------------------
-    async def _send_event(self, writer, event: str, payload: dict) -> None:
+    async def _send_event(
+        self, writer: asyncio.StreamWriter, event: str, payload: dict
+    ) -> None:
         data = json.dumps(payload, default=str)
         writer.write(f"event: {event}\ndata: {data}\n\n".encode())
         await writer.drain()
 
-    async def _job_events(self, writer, job_id: str) -> None:
+    async def _job_events(self, writer: asyncio.StreamWriter, job_id: str) -> None:
         try:
             job = self.scheduler.job(job_id)
         except KeyError as exc:

@@ -255,7 +255,8 @@ class TestPickleBoundary:
             "def f(pool):\n"
             "    pool.submit(lambda: 1)\n",
         )
-        assert rules_fired(report) == {"pickle-boundary"}
+        # the interprocedural pickle-taint rule sees the same literal
+        assert rules_fired(report) == {"pickle-boundary", "pickle-taint"}
 
     def test_fires_on_local_def_into_shard_task(self, tmp_path):
         report = lint_snippet(
@@ -266,7 +267,7 @@ class TestPickleBoundary:
             "        return 1\n"
             "    return ShardTask(shard_id=0, config=helper)\n",
         )
-        assert rules_fired(report) == {"pickle-boundary"}
+        assert rules_fired(report) == {"pickle-boundary", "pickle-taint"}
         assert "helper" in report.findings[0].message
 
     def test_callback_kwargs_stay_in_parent_and_are_exempt(self, tmp_path):
@@ -595,6 +596,113 @@ class TestRunnerAndReporters:
         assert lint_main([str(tmp_path)]) == 0
         assert lint_main([str(tmp_path), "--select", "definitely-not-a-rule"]) == 2
         capsys.readouterr()
+
+    def test_json_schema_version_is_2_with_stats(self, tmp_path):
+        report = lint_snippet(tmp_path, "data/x.py", "x = 1\n")
+        data = report.to_dict()
+        assert data["schema_version"] == 2
+        assert "baselined" in data and data["baselined"] == []
+        assert data["summary"]["baselined"] == 0
+        assert "rule_seconds" in data["stats"]
+        assert set(data["stats"]["rule_seconds"]) == set(ALL_RULES)
+
+    def test_baseline_suppresses_recorded_findings(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/x.py",
+            "import time\nasync def f():\n    time.sleep(0)\n",
+        )
+        assert not report.ok
+        triples = [(f.rule, f.path, f.message) for f in report.findings]
+        again = run_lint([tmp_path], baseline=triples)
+        assert again.ok
+        assert len(again.baselined) == len(triples)
+        assert again.to_dict()["summary"]["baselined"] == len(triples)
+
+    def test_baseline_does_not_hide_new_findings(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/x.py",
+            "import time\nasync def f():\n    time.sleep(0)\n",
+        )
+        triples = [(f.rule, f.path, f.message) for f in report.findings]
+        # a second, different violation appears after the baseline was cut
+        (tmp_path / "repro" / "serve" / "y.py").write_text(
+            "import time\nasync def g():\n    time.sleep(1)\n"
+        )
+        again = run_lint([tmp_path], baseline=triples)
+        assert not again.ok
+        assert len(again.baselined) == len(triples)
+        assert all(f.path.endswith("repro/serve/y.py") for f in again.findings)
+
+    def test_sarif_shape(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/x.py",
+            "import time\nasync def f():\n    time.sleep(0)\n",
+        )
+        out = report.write_sarif(tmp_path / "out" / "lint.sarif")
+        sarif = json.loads(out.read_text())
+        assert sarif["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in sarif["$schema"]
+        (run,) = sarif["runs"]
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]} == set(
+            ALL_RULES
+        )
+        (result,) = run["results"]
+        assert result["ruleId"] == "no-blocking-in-async"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("repro/serve/x.py")
+        assert location["region"]["startLine"] == 3
+
+    def test_sarif_marks_suppressed_findings(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "serve/x.py",
+            "import time\n"
+            "async def f():\n"
+            "    time.sleep(0)  # repro-lint: disable=no-blocking-in-async"
+            " -- fixture\n",
+        )
+        assert report.ok
+        (result,) = report.to_sarif()["runs"][0]["results"]
+        assert result["suppressions"][0]["kind"] == "inSource"
+        assert result["suppressions"][0]["justification"] == "fixture"
+
+    def test_cli_empty_select_exits_2(self, tmp_path, capsys):
+        (tmp_path / "x.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path), "--select", ","]) == 2
+        assert "named no rules" in capsys.readouterr().err
+
+    def test_cli_stats_baseline_sarif_and_cache(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "serve" / "x.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nasync def f():\n    time.sleep(0)\n")
+        json_path = tmp_path / "out" / "report.json"
+        sarif_path = tmp_path / "out" / "report.sarif"
+        cache_dir = tmp_path / "cache"
+        code = lint_main(
+            [str(tmp_path / "repro"), "--stats", "--json", str(json_path),
+             "--sarif", str(sarif_path), "--cache", str(cache_dir)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "stats:" in out and "call_edges=" in out
+        assert json.loads(sarif_path.read_text())["version"] == "2.1.0"
+        assert list(cache_dir.glob("lint-cache-*.pickle"))
+        # second run hits the cache and honors the baseline
+        code = lint_main(
+            [str(tmp_path / "repro"), "--baseline", str(json_path),
+             "--cache", str(cache_dir)]
+        )
+        assert code == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_cli_unreadable_baseline_exits_2(self, tmp_path, capsys):
+        (tmp_path / "x.py").write_text("x = 1\n")
+        missing = tmp_path / "nope.json"
+        assert lint_main([str(tmp_path), "--baseline", str(missing)]) == 2
+        assert "unreadable baseline" in capsys.readouterr().err
 
     def test_cli_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0

@@ -1,0 +1,391 @@
+"""The PR-10 interprocedural rules: coordinator-only-transitive,
+lock-order, pickle-taint, no-shm-across-transport.
+
+The headline case: fixtures the per-file rules *provably* miss — each
+asserts the old rule stays clean on the very tree the new rule flags,
+so the value of the whole-program analysis is pinned by a test, not a
+claim.  Every rule also has a compliant twin (no false positive) and a
+pragma case (suppression still works on analysis-produced findings).
+"""
+
+from repro.lint import run_lint
+
+
+def lint_files(tmp_path, files, select=None):
+    for rel, code in files.items():
+        path = tmp_path / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(code, encoding="utf-8")
+    return run_lint([tmp_path], select=select)
+
+
+def rules_fired(report):
+    return {f.rule for f in report.findings}
+
+
+# ---------------------------------------------------------------------------
+# coordinator-only-transitive
+
+_TRANSITIVE_MARKED = {
+    "serve/app.py": (
+        "from repro.engine.layer import do_work\n"
+        "async def handler():\n"
+        "    return do_work()\n"
+    ),
+    "engine/layer.py": (
+        "def coordinator_only(fn):\n"
+        "    return fn\n"
+        "def do_work():\n"
+        "    return _internal()\n"
+        "@coordinator_only\n"
+        "def _internal():\n"
+        "    return 1\n"
+    ),
+}
+
+
+class TestCoordinatorOnlyTransitive:
+    def test_old_per_file_rule_misses_the_indirect_chain(self, tmp_path):
+        """The acceptance fixture: the marked call site is in
+        ``repro/engine/`` where the per-file coordinator-only rule never
+        looks, so only the transitive rule can see the loop reach it."""
+        report = lint_files(
+            tmp_path, _TRANSITIVE_MARKED, select=["coordinator-only"]
+        )
+        assert report.ok  # old rule: provably clean
+
+    def test_transitive_rule_fires_with_full_chain(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            _TRANSITIVE_MARKED,
+            select=["coordinator-only-transitive"],
+        )
+        assert rules_fired(report) == {"coordinator-only-transitive"}
+        message = report.findings[0].message
+        assert "handler" in message and "_internal" in message
+        assert "->" in message  # the chain is printed hop by hop
+        assert "repro/serve/app.py" in message
+
+    def test_fires_on_transitive_blocking_primitive(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "serve/app.py": (
+                    "from repro.engine.helpers import crunch\n"
+                    "async def handler():\n"
+                    "    return crunch()\n"
+                ),
+                "engine/helpers.py": (
+                    "import time\n"
+                    "def crunch():\n"
+                    "    time.sleep(1)\n"
+                ),
+            },
+            select=["coordinator-only-transitive"],
+        )
+        assert rules_fired(report) == {"coordinator-only-transitive"}
+        assert "time.sleep" in report.findings[0].message
+        # ...and the per-file blocking rule cannot see it
+        old = lint_files(tmp_path, {}, select=["no-blocking-in-async"])
+        assert old.ok
+
+    def test_quiet_when_routed_through_run_coord(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "serve/app.py": (
+                    "from repro.engine.layer import do_work\n"
+                    "class S:\n"
+                    "    async def handler(self):\n"
+                    "        return await self._run_coord(do_work)\n"
+                    "    def _run_coord(self, fn):\n"
+                    "        return fn\n"
+                ),
+                "engine/layer.py": _TRANSITIVE_MARKED["engine/layer.py"],
+            },
+            select=["coordinator-only-transitive"],
+        )
+        assert report.ok
+
+    def test_pragma_suppresses_at_the_final_call_site(self, tmp_path):
+        files = dict(_TRANSITIVE_MARKED)
+        files["engine/layer.py"] = files["engine/layer.py"].replace(
+            "    return _internal()",
+            "    return _internal()  # repro-lint: "
+            "disable=coordinator-only-transitive -- fixture justification",
+        )
+        report = lint_files(
+            tmp_path, files, select=["coordinator-only-transitive"]
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+
+# ---------------------------------------------------------------------------
+# lock-order
+
+
+class TestLockOrder:
+    def test_fires_on_opposite_nesting_orders(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "engine/locks.py": (
+                    "import threading\n"
+                    "class S:\n"
+                    "    def __init__(self):\n"
+                    "        self.a = threading.Lock()\n"
+                    "        self.b = threading.Lock()\n"
+                    "    def one(self):\n"
+                    "        with self.a:\n"
+                    "            with self.b:\n"
+                    "                pass\n"
+                    "    def two(self):\n"
+                    "        with self.b:\n"
+                    "            with self.a:\n"
+                    "                pass\n"
+                ),
+            },
+            select=["lock-order"],
+        )
+        assert rules_fired(report) == {"lock-order"}
+        assert "S.a" in report.findings[0].message
+        assert "S.b" in report.findings[0].message
+
+    def test_fires_on_interprocedural_cycle(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "engine/locks.py": (
+                    "import threading\n"
+                    "class S:\n"
+                    "    def __init__(self):\n"
+                    "        self.a = threading.Lock()\n"
+                    "        self.b = threading.Lock()\n"
+                    "    def one(self):\n"
+                    "        with self.a:\n"
+                    "            self.grab_b()\n"
+                    "    def grab_b(self):\n"
+                    "        with self.b:\n"
+                    "            pass\n"
+                    "    def two(self):\n"
+                    "        with self.b:\n"
+                    "            self.grab_a()\n"
+                    "    def grab_a(self):\n"
+                    "        with self.a:\n"
+                    "            pass\n"
+                ),
+            },
+            select=["lock-order"],
+        )
+        assert rules_fired(report) == {"lock-order"}
+
+    def test_plain_lock_self_nesting_fires_rlock_does_not(self, tmp_path):
+        code = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self.a = threading.{KIND}()\n"
+            "    def f(self):\n"
+            "        with self.a:\n"
+            "            self.g()\n"
+            "    def g(self):\n"
+            "        with self.a:\n"
+            "            pass\n"
+        )
+        fires = lint_files(
+            tmp_path / "lock",
+            {"engine/locks.py": code.format(KIND="Lock")},
+            select=["lock-order"],
+        )
+        assert rules_fired(fires) == {"lock-order"}
+        assert "re-acquir" in fires.findings[0].message
+        clean = lint_files(
+            tmp_path / "rlock",
+            {"engine/locks.py": code.format(KIND="RLock")},
+            select=["lock-order"],
+        )
+        assert clean.ok
+
+    def test_quiet_on_consistent_order(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "engine/locks.py": (
+                    "import threading\n"
+                    "class S:\n"
+                    "    def __init__(self):\n"
+                    "        self.a = threading.Lock()\n"
+                    "        self.b = threading.Lock()\n"
+                    "    def one(self):\n"
+                    "        with self.a:\n"
+                    "            with self.b:\n"
+                    "                pass\n"
+                    "    def two(self):\n"
+                    "        with self.a:\n"
+                    "            with self.b:\n"
+                    "                pass\n"
+                ),
+            },
+            select=["lock-order"],
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# pickle-taint
+
+
+class TestPickleTaint:
+    def test_old_rule_misses_lambda_bound_to_a_variable(self, tmp_path):
+        files = {
+            "engine/x.py": (
+                "def f(pool):\n"
+                "    cb = lambda: 1\n"
+                "    pool.submit(cb)\n"
+            ),
+        }
+        old = lint_files(tmp_path, files, select=["pickle-boundary"])
+        assert old.ok  # the per-file rule only sees literal lambdas
+        new = lint_files(tmp_path, files, select=["pickle-taint"])
+        assert rules_fired(new) == {"pickle-taint"}
+
+    def test_fires_on_lease_stored_on_self_and_submitted_later(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "engine/x.py": (
+                    "class Engine:\n"
+                    "    def open(self, store):\n"
+                    "        self._lease = store.lease_shared()\n"
+                    "    def go(self, pool):\n"
+                    "        pool.submit(self._lease)\n"
+                ),
+            },
+            select=["pickle-taint"],
+        )
+        assert rules_fired(report) == {"pickle-taint"}
+        assert "lease" in report.findings[0].message
+
+    def test_fires_on_taint_through_a_return_value(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "engine/x.py": (
+                    "import threading\n"
+                    "def make():\n"
+                    "    return threading.Lock()\n"
+                    "def f(pool):\n"
+                    "    pool.submit(make())\n"
+                ),
+            },
+            select=["pickle-taint"],
+        )
+        assert rules_fired(report) == {"pickle-taint"}
+
+    def test_fires_through_a_helper_parameter(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "engine/x.py": (
+                    "def send(pool, item):\n"
+                    "    pool.submit(item)\n"
+                    "def f(pool):\n"
+                    "    bad = lambda: 2\n"
+                    "    send(pool, bad)\n"
+                ),
+            },
+            select=["pickle-taint"],
+        )
+        assert rules_fired(report) == {"pickle-taint"}
+        assert "send" in report.findings[0].message
+
+    def test_handle_access_sanitizes(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "engine/x.py": (
+                    "def f(pool, store):\n"
+                    "    lease = store.lease_shared()\n"
+                    "    pool.submit(lease.handle)\n"
+                ),
+            },
+            select=["pickle-taint"],
+        )
+        assert report.ok
+
+    def test_callback_kwargs_are_exempt(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "engine/x.py": (
+                    "def f(pool, task):\n"
+                    "    cb = lambda r: r\n"
+                    "    pool.submit(task, callback=cb)\n"
+                ),
+            },
+            select=["pickle-taint"],
+        )
+        assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# no-shm-across-transport
+
+
+class TestNoShmAcrossTransport:
+    def test_fires_on_handle_into_transport_send(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "serve/wire.py": (
+                    "def f(transport, store):\n"
+                    "    lease = store.lease_shared()\n"
+                    "    transport.send(lease.handle)\n"
+                ),
+            },
+            select=["no-shm-across-transport"],
+        )
+        assert rules_fired(report) == {"no-shm-across-transport"}
+        assert "shared-memory" in report.findings[0].message
+
+    def test_fires_on_handle_via_remote_dispatch(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "serve/wire.py": (
+                    "def f(remote_worker, handle_src):\n"
+                    "    h = handle_src.handle()\n"
+                    "    remote_worker.dispatch(h)\n"
+                ),
+            },
+            select=["no-shm-across-transport"],
+        )
+        assert rules_fired(report) == {"no-shm-across-transport"}
+
+    def test_local_pool_submit_is_not_a_transport(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "engine/x.py": (
+                    "def f(pool, store):\n"
+                    "    lease = store.lease_shared()\n"
+                    "    pool.submit(lease.handle)\n"
+                ),
+            },
+            select=["no-shm-across-transport"],
+        )
+        assert report.ok
+
+    def test_untainted_payloads_cross_transports_freely(self, tmp_path):
+        report = lint_files(
+            tmp_path,
+            {
+                "serve/wire.py": (
+                    "def f(transport, payload):\n"
+                    "    transport.send(payload)\n"
+                ),
+            },
+            select=["no-shm-across-transport"],
+        )
+        assert report.ok
